@@ -1,0 +1,39 @@
+# Developer entry points. Everything is pure stdlib Go; no tools beyond
+# the Go toolchain are required.
+
+GO ?= go
+
+.PHONY: all build test race bench experiments examples fuzz clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core/ ./internal/cache/ ./internal/memtable/ .
+
+# One testing.B bench per experiment (E1-E13) plus per-package microbenches.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# The claim-shaped experiment tables (DESIGN.md index, EXPERIMENTS.md record).
+experiments:
+	$(GO) run ./cmd/lsmbench
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/readopt
+	$(GO) run ./examples/tuning
+	$(GO) run ./examples/kvsep
+
+fuzz:
+	$(GO) test ./internal/sstable/ -fuzz FuzzDecodeBlock -fuzztime 30s
+	$(GO) test ./internal/sstable/ -fuzz FuzzOpenReader -fuzztime 30s
+
+clean:
+	rm -f lsmbench

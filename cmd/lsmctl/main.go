@@ -1,0 +1,158 @@
+// Command lsmctl opens a database directory and performs basic
+// operations from the command line — the operational companion to the
+// library.
+//
+// Usage:
+//
+//	lsmctl -db /path put <key> <value>
+//	lsmctl -db /path get <key>
+//	lsmctl -db /path delete <key>
+//	lsmctl -db /path scan <lo> <hi>
+//	lsmctl -db /path stats
+//	lsmctl -db /path compact
+//	lsmctl -db /path fill <n>         # load n synthetic entries
+//
+// Design flags mirror the library presets:
+//
+//	-preset default|read|write|balanced|wisckey
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"lsmkv"
+	"lsmkv/internal/workload"
+)
+
+func main() {
+	var (
+		dir    = flag.String("db", "", "database directory (required)")
+		preset = flag.String("preset", "default", "default | read | write | balanced | wisckey")
+	)
+	flag.Parse()
+	if *dir == "" || flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var opts *lsmkv.Options
+	switch *preset {
+	case "default":
+		opts = lsmkv.Default()
+	case "read":
+		opts = lsmkv.ReadOptimized()
+	case "write":
+		opts = lsmkv.WriteOptimized()
+	case "balanced":
+		opts = lsmkv.Balanced()
+	case "wisckey":
+		opts = lsmkv.WiscKey()
+	default:
+		fmt.Fprintf(os.Stderr, "lsmctl: unknown preset %q\n", *preset)
+		os.Exit(2)
+	}
+
+	db, err := lsmkv.Open(*dir, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lsmctl: open:", err)
+		os.Exit(1)
+	}
+	defer db.Close()
+
+	if err := run(db, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "lsmctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(db *lsmkv.DB, args []string) error {
+	cmd, rest := args[0], args[1:]
+	need := func(n int) error {
+		if len(rest) != n {
+			return fmt.Errorf("%s expects %d argument(s)", cmd, n)
+		}
+		return nil
+	}
+	switch cmd {
+	case "put":
+		if err := need(2); err != nil {
+			return err
+		}
+		return db.Put([]byte(rest[0]), []byte(rest[1]))
+	case "get":
+		if err := need(1); err != nil {
+			return err
+		}
+		v, err := db.Get([]byte(rest[0]))
+		if errors.Is(err, lsmkv.ErrNotFound) {
+			fmt.Println("(not found)")
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s\n", v)
+		return nil
+	case "delete":
+		if err := need(1); err != nil {
+			return err
+		}
+		return db.Delete([]byte(rest[0]))
+	case "scan":
+		if err := need(2); err != nil {
+			return err
+		}
+		count := 0
+		err := db.Scan([]byte(rest[0]), []byte(rest[1]), func(k, v []byte) bool {
+			fmt.Printf("%s => %s\n", k, v)
+			count++
+			return count < 1000
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("(%d entries)\n", count)
+		return nil
+	case "stats":
+		s := db.Stats()
+		fmt.Printf("tree:\n%s", db.DebugString())
+		fmt.Printf("runs: %d   index memory: %d KiB\n", db.TotalRuns(), db.IndexMemory()>>10)
+		fmt.Printf("flushes: %d   compactions: %d   write-amp: %.2f\n",
+			s.Flushes, s.Compactions, s.WriteAmplification())
+		fmt.Printf("point lookups: %d (%.2f block reads/op)   cache hit rate: %.2f\n",
+			s.PointLookups, s.BlockReadsPerLookup(), s.CacheHitRate())
+		fmt.Printf("filter probes: %d   negatives: %d   false positives: %d\n",
+			s.FilterProbes, s.FilterNegatives, s.FilterFalsePositives)
+		return nil
+	case "compact":
+		return db.Compact()
+	case "fill":
+		if err := need(1); err != nil {
+			return err
+		}
+		n, err := strconv.ParseInt(rest[0], 10, 64)
+		if err != nil {
+			return err
+		}
+		for i := int64(0); i < n; i++ {
+			if err := db.Put(workload.Key(i), workload.Value(i, 100)); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("loaded %d entries\n", n)
+		return nil
+	case "gc":
+		collected, err := db.RunValueLogGC()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("collected=%v\n", collected)
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q (put|get|delete|scan|stats|compact|fill|gc)", cmd)
+	}
+}

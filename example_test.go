@@ -1,0 +1,87 @@
+package lsmkv_test
+
+import (
+	"errors"
+	"fmt"
+	"os"
+
+	"lsmkv"
+)
+
+// Example shows the minimal open/put/get/delete lifecycle.
+func Example() {
+	dir, _ := os.MkdirTemp("", "lsmkv-example-*")
+	defer os.RemoveAll(dir)
+
+	db, err := lsmkv.Open(dir, lsmkv.Default())
+	if err != nil {
+		panic(err)
+	}
+	defer db.Close()
+
+	db.Put([]byte("planet"), []byte("saturn"))
+	v, _ := db.Get([]byte("planet"))
+	fmt.Println(string(v))
+
+	db.Delete([]byte("planet"))
+	_, err = db.Get([]byte("planet"))
+	fmt.Println(errors.Is(err, lsmkv.ErrNotFound))
+	// Output:
+	// saturn
+	// true
+}
+
+// ExampleDB_Scan shows ascending range iteration with early stop.
+func ExampleDB_Scan() {
+	dir, _ := os.MkdirTemp("", "lsmkv-example-*")
+	defer os.RemoveAll(dir)
+	db, _ := lsmkv.Open(dir, nil)
+	defer db.Close()
+
+	for _, k := range []string{"a", "b", "c", "d"} {
+		db.Put([]byte(k), []byte("v-"+k))
+	}
+	db.Scan([]byte("b"), []byte("d"), func(k, v []byte) bool {
+		fmt.Printf("%s=%s\n", k, v)
+		return string(k) != "c" // stop after c
+	})
+	// Output:
+	// b=v-b
+	// c=v-c
+}
+
+// ExampleDB_NewSnapshot shows point-in-time reads across later writes.
+func ExampleDB_NewSnapshot() {
+	dir, _ := os.MkdirTemp("", "lsmkv-example-*")
+	defer os.RemoveAll(dir)
+	db, _ := lsmkv.Open(dir, nil)
+	defer db.Close()
+
+	db.Put([]byte("k"), []byte("v1"))
+	snap := db.NewSnapshot()
+	defer snap.Release()
+	db.Put([]byte("k"), []byte("v2"))
+
+	old, _ := snap.Get([]byte("k"))
+	cur, _ := db.Get([]byte("k"))
+	fmt.Println(string(old), string(cur))
+	// Output: v1 v2
+}
+
+// ExampleReadOptimized shows opening with a preset and tweaking it.
+func ExampleReadOptimized() {
+	dir, _ := os.MkdirTemp("", "lsmkv-example-*")
+	defer os.RemoveAll(dir)
+
+	opts := lsmkv.ReadOptimized()
+	opts.SizeRatio = 6
+	opts.RangeFilter = lsmkv.RangeFilterRosetta
+
+	db, err := lsmkv.Open(dir, opts)
+	if err != nil {
+		panic(err)
+	}
+	defer db.Close()
+	fmt.Println(db.TotalRuns())
+	// Output: 0
+}

@@ -1,0 +1,91 @@
+// Kvsep demonstrates WiscKey-style key-value separation: large values go
+// to an append-only value log, the tree stores pointers, compactions move
+// pointers instead of payloads, and garbage collection reclaims dead
+// value-log space after overwrites.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"os"
+
+	"lsmkv"
+	"lsmkv/internal/workload"
+)
+
+const (
+	numKeys   = 2_000
+	valueSize = 2 << 10 // 2 KiB values: well above the separation threshold
+	rounds    = 4       // overwrite everything repeatedly to create garbage
+)
+
+func main() {
+	inline := run(&lsmkv.Options{SizeRatio: 4})
+	wk := lsmkv.WiscKey()
+	wk.VlogSegmentBytes = 512 << 10 // small segments so GC has units to collect
+	separated := run(wk)
+
+	fmt.Printf("%-22s %12s %12s\n", "", "inline", "value log")
+	fmt.Printf("%-22s %12.2f %12.2f\n", "write amplification", inline, separated)
+	fmt.Println("\nWith 2 KiB values overwritten 4 times, compactions under the inline")
+	fmt.Println("design rewrite every payload at every merge; under key-value")
+	fmt.Println("separation they move 20-byte pointers instead, so the tree's write")
+	fmt.Println("amplification collapses. The price: every separated read pays one")
+	fmt.Println("extra hop into the value log, and the log needs GC (run below).")
+}
+
+func run(opts *lsmkv.Options) (writeAmp float64) {
+	dir, err := os.MkdirTemp("", "lsmkv-kvsep-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	opts.MemtableBytes = 64 << 10
+	opts.DisableCache()
+	db, err := lsmkv.Open(dir, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	payload := bytes.Repeat([]byte("v"), valueSize)
+	for r := 0; r < rounds; r++ {
+		for i := int64(0); i < numKeys; i++ {
+			if err := db.Put(workload.Key(i), payload); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	if err := db.Compact(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Reads resolve through the pointer transparently.
+	v, err := db.Get(workload.Key(42))
+	if err != nil || len(v) != valueSize {
+		log.Fatalf("read-back failed: %v (len %d)", err, len(v))
+	}
+
+	// Reclaim dead value-log segments left by the overwrites.
+	if opts.ValueSeparation {
+		collected := 0
+		for {
+			ok, err := db.RunValueLogGC()
+			if err != nil {
+				log.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			collected++
+		}
+		fmt.Printf("(value-log GC collected %d segments; stats: %d vlog reads)\n",
+			collected, db.Stats().VlogReads)
+		// Everything still readable after GC.
+		if _, err := db.Get(workload.Key(42)); err != nil {
+			log.Fatal("post-GC read failed: ", err)
+		}
+	}
+	return db.Stats().WriteAmplification()
+}

@@ -1,0 +1,96 @@
+// Readopt demonstrates the tutorial's central theme on live data: the
+// same workload measured under four read-optimization configurations,
+// from "no help" to "everything on", reporting storage reads per lookup
+// — the unit the LSM literature reasons in.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"lsmkv"
+	"lsmkv/internal/workload"
+)
+
+const (
+	numKeys = 30_000
+	probes  = 3_000
+)
+
+func main() {
+	configs := []struct {
+		name string
+		opts func() *lsmkv.Options
+	}{
+		{"no filters, no cache", func() *lsmkv.Options {
+			o := &lsmkv.Options{SizeRatio: 4}
+			return o.DisableFilters().DisableCache()
+		}},
+		{"bloom filters (10 b/k)", func() *lsmkv.Options {
+			o := &lsmkv.Options{SizeRatio: 4}
+			return o.DisableCache()
+		}},
+		{"bloom + block cache", func() *lsmkv.Options {
+			return &lsmkv.Options{SizeRatio: 4, CacheBytes: 4 << 20}
+		}},
+		{"read-optimized preset", func() *lsmkv.Options {
+			o := lsmkv.ReadOptimized()
+			o.SizeRatio = 4
+			return o
+		}},
+	}
+
+	fmt.Printf("%-26s %16s %16s %14s\n", "configuration", "present reads/op", "absent reads/op", "index KiB")
+	for _, cfg := range configs {
+		present, absent, idxKiB, err := measure(cfg.opts())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-26s %16.3f %16.3f %14d\n", cfg.name, present, absent, idxKiB)
+	}
+	fmt.Println("\nEach row loads the same 30k keys (scrambled order) into a small-buffer")
+	fmt.Println("tree and measures storage block reads per point lookup. Filters remove")
+	fmt.Println("absent-key I/O; the cache removes repeated-read I/O; the read-optimized")
+	fmt.Println("preset adds Monkey allocation, partitioned filters, hash indexes, and")
+	fmt.Println("learned fence pointers on top.")
+}
+
+func measure(opts *lsmkv.Options) (present, absent float64, indexKiB int, err error) {
+	dir, err := os.MkdirTemp("", "lsmkv-readopt-*")
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer os.RemoveAll(dir)
+	opts.MemtableBytes = 32 << 10
+	db, err := lsmkv.Open(dir, opts)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer db.Close()
+
+	for i := int64(0); i < numKeys; i++ {
+		k := workload.ScrambleKey(i, numKeys)
+		if err := db.Put(workload.Key(k), workload.Value(k, 64)); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	if err := db.Compact(); err != nil {
+		return 0, 0, 0, err
+	}
+
+	zipf := workload.NewKeyGen(workload.Zipfian, numKeys, 0.9, 42)
+	before := db.Stats()
+	for i := 0; i < probes; i++ {
+		db.Get(workload.Key(workload.ScrambleKey(zipf.Next(), numKeys)))
+	}
+	mid := db.Stats()
+	for i := 0; i < probes; i++ {
+		db.Get([]byte(fmt.Sprintf("user%012dx", i)))
+	}
+	after := db.Stats()
+
+	p := mid.Sub(before)
+	a := after.Sub(mid)
+	return float64(p.BlockReads) / probes, float64(a.BlockReads) / probes, db.IndexMemory() >> 10, nil
+}

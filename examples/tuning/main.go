@@ -1,0 +1,109 @@
+// Tuning demonstrates Module III: describe a workload, let the analytical
+// navigator pick a design from the (T, K, Z) continuum, then open a real
+// engine with both the recommended design and a deliberately wrong one
+// and verify the model's preference holds end to end.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"lsmkv"
+	"lsmkv/internal/cost"
+	"lsmkv/internal/workload"
+)
+
+const (
+	numKeys = 30_000
+	numOps  = 60_000
+)
+
+func main() {
+	// A write-heavy workload with some zero-result lookups.
+	w := cost.Workload{Writes: 0.85, PointLookups: 0.10, ZeroLookups: 0.05}
+	sys := cost.System{
+		N:                numKeys,
+		EntryBytes:       100,
+		PageBytes:        4096,
+		BufferBytes:      32 << 10,
+		FilterBitsPerKey: 10,
+		MonkeyAllocation: true,
+	}
+
+	best := cost.Navigate(sys, w, cost.CandidateSpace{MinT: 2, MaxT: 10, FullHybrid: true})
+	fmt.Printf("workload: %.0f%% writes / %.0f%% reads / %.0f%% zero-reads\n",
+		w.Writes*100, w.PointLookups*100, w.ZeroLookups*100)
+	fmt.Printf("model recommends: %v (expected %.4f I/O per op)\n\n", best.Design, best.Cost)
+
+	// Map the model's pick onto engine options.
+	recommended := designToOptions(best.Design)
+	// The adversary: the classic read-optimized choice, wrong for this mix.
+	adversary := &lsmkv.Options{Layout: lsmkv.Leveled, SizeRatio: 10}
+
+	recThroughput, recAmp := runWorkload(recommended)
+	advThroughput, advAmp := runWorkload(adversary)
+
+	fmt.Printf("%-22s %14s %10s\n", "design", "ops/sec", "write-amp")
+	fmt.Printf("%-22s %14.0f %10.2f\n", best.Design.String(), recThroughput, recAmp)
+	fmt.Printf("%-22s %14.0f %10.2f\n", "leveling(T=10)", advThroughput, advAmp)
+	if recAmp < advAmp {
+		fmt.Println("\nthe navigator's pick writes less per ingested byte, as modeled")
+	}
+}
+
+// designToOptions maps a (T, K, Z) design onto the closest engine layout.
+func designToOptions(d cost.Design) *lsmkv.Options {
+	o := &lsmkv.Options{SizeRatio: d.T}
+	switch {
+	case d.K == 1 && d.Z == 1:
+		o.Layout = lsmkv.Leveled
+	case d.Z == 1:
+		o.Layout = lsmkv.LazyLeveled
+	default:
+		o.Layout = lsmkv.Tiered
+	}
+	o.MonkeyFilters = true
+	return o
+}
+
+func runWorkload(opts *lsmkv.Options) (opsPerSec, writeAmp float64) {
+	dir, err := os.MkdirTemp("", "lsmkv-tuning-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	opts.MemtableBytes = 32 << 10
+	opts.DisableCache()
+	db, err := lsmkv.Open(dir, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	gen := workload.NewGenerator(
+		workload.Mix{Update: 0.85, Read: 0.10, ReadAbsent: 0.05},
+		workload.Zipfian, numKeys, 0.9, 99,
+	)
+	start := time.Now()
+	for i := 0; i < numOps; i++ {
+		op := gen.Next()
+		k := workload.ScrambleKey(op.Key%numKeys, numKeys)
+		switch op.Kind {
+		case workload.OpUpdate, workload.OpInsert:
+			if err := db.Put(workload.Key(k), workload.Value(k, 80)); err != nil {
+				log.Fatal(err)
+			}
+		case workload.OpRead:
+			db.Get(workload.Key(k))
+		case workload.OpReadAbsent:
+			db.Get([]byte(fmt.Sprintf("user%012dx", k)))
+		}
+	}
+	if err := db.Compact(); err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start).Seconds()
+	return float64(numOps) / elapsed, db.Stats().WriteAmplification()
+}

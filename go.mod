@@ -1,0 +1,3 @@
+module lsmkv
+
+go 1.22

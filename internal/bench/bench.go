@@ -1,0 +1,199 @@
+// Package bench implements the experiment harness that regenerates, as
+// printed tables, every performance claim catalogued in DESIGN.md
+// (experiments E1–E12). Each experiment is a self-contained function that
+// builds engines in temporary directories, drives them with the workload
+// generators, and prints the same rows the tutorial's claims are stated
+// in — expected I/Os per operation, write amplification, hit rates,
+// bits/key, nanoseconds per probe.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Scale selects experiment sizing.
+type Scale int
+
+const (
+	// Small finishes the full suite in a couple of minutes on a laptop.
+	Small Scale = iota
+	// Full uses 10x the data for smoother numbers.
+	Full
+)
+
+// ParseScale maps a flag value.
+func ParseScale(s string) (Scale, error) {
+	switch s {
+	case "", "small":
+		return Small, nil
+	case "full":
+		return Full, nil
+	default:
+		return Small, fmt.Errorf("bench: unknown scale %q", s)
+	}
+}
+
+func (s Scale) factor() int {
+	if s == Full {
+		return 10
+	}
+	return 1
+}
+
+// Experiment is one runnable experiment.
+type Experiment struct {
+	ID    string
+	Title string
+	Claim string
+	Run   func(w io.Writer, scale Scale) error
+}
+
+// Registry lists every experiment in order.
+func Registry() []Experiment {
+	return []Experiment{
+		{"E1", "Read vs write tradeoff across size ratio T",
+			"Greedier merging (leveling, larger T) lowers read I/O and raises write amplification; tiering is the opposite.", E1},
+		{"E2", "Data layouts: leveled vs tiered vs lazy-leveled",
+			"Tiering ingests fastest but probes the most runs; lazy leveling sits between; leveling reads best.", E2},
+		{"E3", "Bloom filters and Monkey allocation",
+			"Filters bound zero-result lookup I/O by bits/key; Monkey allocation beats uniform at equal memory.", E3},
+		{"E4", "Range filters: prefix vs SuRF vs Rosetta vs SNARF",
+			"Range filters cut superfluous I/O for empty ranges; Rosetta is strongest on short ranges, SuRF on longer ones, prefix only within one prefix.", E4},
+		{"E5", "Block cache and compaction invalidation",
+			"Bigger caches raise hit rates; compactions invalidate cached blocks; Leaper-style prefetch restores the hit rate.", E5},
+		{"E6", "Fence pointers vs learned indexes",
+			"Learned models answer fence lookups with less memory and comparable or better CPU than binary search.", E6},
+		{"E7", "Memory allocation: buffer vs filters",
+			"Splitting one memory budget between buffer and filters has an interior optimum (Monkey's second result).", E7},
+		{"E8", "Key-value separation (WiscKey)",
+			"Separating large values slashes write amplification at the cost of one extra read hop.", E8},
+		{"E9", "Partial-compaction file picking policies",
+			"Min-overlap picking writes less than round-robin; tombstone-driven picking reclaims deletes fastest.", E9},
+		{"E10", "Robust tuning under workload uncertainty",
+			"Tuning for the worst case near the expected workload loses little at the expectation and wins under drift.", E10},
+		{"E11", "Point-filter implementations (the filter zoo)",
+			"Blocked Bloom trades FPR for single-cache-line probes; ribbon is smaller at equal FPR; cuckoo supports deletes.", E11},
+		{"E12", "Shared hash computation across filter probes",
+			"Computing the key digest once and deriving every filter probe from it removes per-run hashing CPU.", E12},
+		{"E13", "Compaction throttling and foreground-latency stability",
+			"Pacing compaction output flattens the client-visible read-latency tail during ingest (the SILK/throttling stability result); writer stalls move the other way.", E13},
+	}
+}
+
+// Find returns the experiment with the given ID.
+func Find(id string) (Experiment, bool) {
+	for _, e := range Registry() {
+		if strings.EqualFold(e.ID, id) {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// RunAll executes every experiment.
+func RunAll(w io.Writer, scale Scale) error {
+	for _, e := range Registry() {
+		if err := RunOne(e, w, scale); err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+	}
+	return nil
+}
+
+// RunOne executes one experiment with its header.
+func RunOne(e Experiment, w io.Writer, scale Scale) error {
+	fmt.Fprintf(w, "\n=== %s: %s ===\n", e.ID, e.Title)
+	fmt.Fprintf(w, "claim: %s\n\n", e.Claim)
+	start := time.Now()
+	if err := e.Run(w, scale); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "[%s completed in %.1fs]\n", e.ID, time.Since(start).Seconds())
+	return nil
+}
+
+// Table accumulates rows and prints them with aligned columns.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// Row appends a row; values are formatted with %v, floats with %.3f.
+func (t *Table) Row(vals ...any) {
+	row := make([]string, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", x)
+		case float32:
+			row[i] = fmt.Sprintf("%.3f", x)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Print renders the table.
+func (t *Table) Print(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			for p := len(c); p < widths[i]; p++ {
+				b.WriteByte(' ')
+			}
+		}
+		return strings.TrimRight(b.String(), " ")
+	}
+	fmt.Fprintln(w, line(t.header))
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	fmt.Fprintln(w, line(sep))
+	for _, r := range t.rows {
+		fmt.Fprintln(w, line(r))
+	}
+}
+
+// tempDir creates a scratch directory removed by the returned cleanup.
+func tempDir() (string, func(), error) {
+	dir, err := os.MkdirTemp("", "lsmbench-*")
+	if err != nil {
+		return "", nil, err
+	}
+	return dir, func() { os.RemoveAll(dir) }, nil
+}
+
+// sortedKeys returns map keys in sorted order for stable output.
+func sortedKeys[K ~string, V any](m map[K]V) []K {
+	out := make([]K, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	reg := Registry()
+	if len(reg) != 13 {
+		t.Fatalf("registry has %d experiments, want 13", len(reg))
+	}
+	seen := map[string]bool{}
+	for _, e := range reg {
+		if e.Run == nil || e.Title == "" || e.Claim == "" {
+			t.Errorf("experiment %s incomplete", e.ID)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	for i := 1; i <= 13; i++ {
+		id := fmt.Sprintf("e%d", i) // lower case: Find is case-insensitive
+		if _, ok := Find(id); !ok {
+			t.Errorf("Find(%s) failed", id)
+		}
+	}
+	if _, ok := Find("E99"); ok {
+		t.Error("Find accepted unknown id")
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tab := NewTable("name", "value")
+	tab.Row("short", 1.5)
+	tab.Row("a-much-longer-name", 42)
+	var buf bytes.Buffer
+	tab.Print(&buf)
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("expected 4 lines, got %d:\n%s", len(lines), buf.String())
+	}
+	if !strings.Contains(lines[2], "1.500") {
+		t.Errorf("float not formatted: %q", lines[2])
+	}
+	// Columns aligned: the header's second column starts where rows' do.
+	if strings.Index(lines[0], "value") != strings.Index(lines[3], "42") {
+		t.Errorf("columns misaligned:\n%s", buf.String())
+	}
+}
+
+// TestMicroExperimentsRun executes the CPU-only experiments end to end —
+// these are fast enough for the regular test suite and validate the whole
+// harness path.
+func TestMicroExperimentsRun(t *testing.T) {
+	for _, id := range []string{"E6", "E10", "E11", "E12"} {
+		e, ok := Find(id)
+		if !ok {
+			t.Fatalf("missing %s", id)
+		}
+		var buf bytes.Buffer
+		if err := RunOne(e, &buf, Small); err != nil {
+			t.Fatalf("%s: %v\n%s", id, err, buf.String())
+		}
+		if !strings.Contains(buf.String(), e.Title) {
+			t.Errorf("%s output missing title", id)
+		}
+		if len(buf.String()) < 200 {
+			t.Errorf("%s output suspiciously short:\n%s", id, buf.String())
+		}
+	}
+}
+
+// TestEngineExperimentSmoke runs one engine-level experiment at reduced
+// probe counts via Small scale to validate the wiring. E3 exercises the
+// loaded-DB path, lookups, and the stats plumbing.
+func TestEngineExperimentSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("engine experiment in -short mode")
+	}
+	e, _ := Find("E2")
+	var buf bytes.Buffer
+	if err := RunOne(e, &buf, Small); err != nil {
+		t.Fatalf("E2: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"leveled", "tiered", "lazy", "write-amp"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E2 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestParseScale(t *testing.T) {
+	if s, err := ParseScale(""); err != nil || s != Small {
+		t.Error("empty scale should be Small")
+	}
+	if s, err := ParseScale("full"); err != nil || s != Full {
+		t.Error("full scale broken")
+	}
+	if _, err := ParseScale("huge"); err == nil {
+		t.Error("bogus scale accepted")
+	}
+}

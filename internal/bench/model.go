@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"lsmkv/internal/cost"
+)
+
+// E10: robust vs nominal tuning under workload drift, evaluated on the
+// analytical cost model (Endure's experimental shape: rows are observed
+// workloads, columns the two tunings).
+func E10(w io.Writer, scale Scale) error {
+	sys := cost.System{
+		N:                50_000_000,
+		EntryBytes:       128,
+		PageBytes:        4096,
+		BufferBytes:      32 << 20,
+		FilterBitsPerKey: 10,
+		MonkeyAllocation: true,
+	}
+	expected := cost.Workload{Writes: 0.85, PointLookups: 0.10, ZeroLookups: 0.05}
+	space := cost.CandidateSpace{MinT: 2, MaxT: 16, FullHybrid: true}
+	r := cost.TuneRobust(sys, expected, 0.7, space)
+
+	fmt.Fprintf(w, "expected workload: %.0f%% writes, %.0f%% point reads, %.0f%% zero reads\n",
+		expected.Writes*100, expected.PointLookups*100, expected.ZeroLookups*100)
+	fmt.Fprintf(w, "nominal tuning: %v    robust tuning: %v\n\n", r.Nominal.Design, r.Robust.Design)
+
+	m := cost.Model{Sys: sys}
+	t := NewTable("observed workload", "nominal cost (I/O/op)", "robust cost (I/O/op)", "robust wins")
+	observations := []struct {
+		name string
+		w    cost.Workload
+	}{
+		{"as expected (85/10/5)", expected},
+		{"mild drift (70/20/10)", cost.Workload{Writes: 0.70, PointLookups: 0.20, ZeroLookups: 0.10}},
+		{"read shift (50/35/15)", cost.Workload{Writes: 0.50, PointLookups: 0.35, ZeroLookups: 0.15}},
+		{"inverted (15/60/25)", cost.Workload{Writes: 0.15, PointLookups: 0.60, ZeroLookups: 0.25}},
+		{"scan surge (40/20/10/30)", cost.Workload{Writes: 0.40, PointLookups: 0.20, ZeroLookups: 0.10, RangeLookups: 0.30, RangeSelectivity: 1e-6}},
+	}
+	for _, obs := range observations {
+		nc := m.Cost(r.Nominal.Design, obs.w)
+		rc := m.Cost(r.Robust.Design, obs.w)
+		t.Row(obs.name, nc, rc, rc <= nc)
+	}
+	t.Print(w)
+	fmt.Fprintf(w, "\nworst case over the rho=0.7 neighborhood: nominal %.3f, robust %.3f\n",
+		r.NominalWorst, r.RobustWorst)
+	fmt.Fprintf(w, "price of robustness at the expected workload: %.3f -> %.3f I/O/op\n",
+		r.NominalAtExpected, r.RobustAtExpected)
+	return nil
+}

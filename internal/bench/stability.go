@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"io"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"lsmkv"
+	"lsmkv/internal/workload"
+)
+
+// E13: compaction throttling and foreground-latency stability (Module
+// III-B: SILK, Luo & Carey's throttling). Unthrottled compactions
+// monopolize the machine in bursts, so read latency observed by clients
+// during ingest has a heavy tail; pacing compaction output flattens it at
+// some ingest cost. Writer-side stalls, by contrast, get *worse* with
+// throttling (maintenance falls behind) — both sides are reported.
+func E13(w io.Writer, scale Scale) error {
+	cfg := config(scale)
+	t := NewTable("compaction rate", "ingest Kops/s", "read p50 us", "read p99 us", "read p99.9 us", "write p99.9 us")
+	for _, rate := range []int64{0, 16 << 20, 4 << 20} {
+		name := "unthrottled"
+		switch rate {
+		case 16 << 20:
+			name = "16 MiB/s"
+		case 4 << 20:
+			name = "4 MiB/s"
+		}
+		dir, cleanup, err := tempDir()
+		if err != nil {
+			return err
+		}
+		opts := &lsmkv.Options{SizeRatio: 4, CompactionMaxBytesPerSec: rate, CacheBytes: 256 << 10}
+		opts.MemtableBytes = cfg.memtable
+		db, err := lsmkv.Open(dir, opts)
+		if err != nil {
+			cleanup()
+			return err
+		}
+		// Preload so reads have something to find.
+		for i := int64(0); i < cfg.keys/4; i++ {
+			k := workload.ScrambleKey(i, cfg.keys)
+			if err := db.Put(workload.Key(k), workload.Value(k, cfg.valueSize)); err != nil {
+				db.Close()
+				cleanup()
+				return err
+			}
+		}
+		db.Compact()
+
+		// Background ingest churns compactions; the foreground reader
+		// measures client-visible latency.
+		var stop atomic.Bool
+		var writes atomic.Int64
+		writeLat := make(chan time.Duration, 1<<16)
+		go func() {
+			for i := int64(0); !stop.Load(); i++ {
+				k := workload.ScrambleKey(i%cfg.keys, cfg.keys)
+				t0 := time.Now()
+				if db.Put(workload.Key(k), workload.Value(k, cfg.valueSize)) != nil {
+					return
+				}
+				select {
+				case writeLat <- time.Since(t0):
+				default:
+				}
+				writes.Add(1)
+			}
+		}()
+
+		duration := 3 * time.Second
+		if scale == Full {
+			duration = 10 * time.Second
+		}
+		var readLat []time.Duration
+		deadline := time.Now().Add(duration)
+		rng := workload.NewKeyGen(workload.Zipfian, cfg.keys, 0.9, 5)
+		for time.Now().Before(deadline) {
+			k := workload.ScrambleKey(rng.Next(), cfg.keys)
+			t0 := time.Now()
+			db.Get(workload.Key(k))
+			readLat = append(readLat, time.Since(t0))
+		}
+		stop.Store(true)
+		nWrites := writes.Load()
+		db.Close()
+		cleanup()
+
+		var wl []time.Duration
+		for len(writeLat) > 0 {
+			wl = append(wl, <-writeLat)
+		}
+		sort.Slice(readLat, func(i, j int) bool { return readLat[i] < readLat[j] })
+		sort.Slice(wl, func(i, j int) bool { return wl[i] < wl[j] })
+		pct := func(l []time.Duration, p float64) float64 {
+			if len(l) == 0 {
+				return 0
+			}
+			return float64(l[int(float64(len(l)-1)*p)].Microseconds())
+		}
+		t.Row(name,
+			float64(nWrites)/duration.Seconds()/1000,
+			pct(readLat, 0.50), pct(readLat, 0.99), pct(readLat, 0.999),
+			pct(wl, 0.999),
+		)
+	}
+	t.Print(w)
+	return nil
+}

@@ -1,0 +1,298 @@
+// Package cache implements the block cache of the read path (tutorial
+// Module II-iii): a sharded, capacity-bounded cache of decoded sstable
+// blocks keyed by (file number, block offset), with a choice of LRU or
+// CLOCK replacement. It also provides the compaction-aware warming hook
+// (Leaper-style) that core uses to re-fetch hot data after compaction
+// invalidates it — the buffer-cache invalidation problem the tutorial
+// highlights for LSM-trees.
+package cache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Policy selects the replacement algorithm.
+type Policy int
+
+const (
+	// LRU evicts the least recently used block.
+	LRU Policy = iota
+	// Clock approximates LRU with a second-chance ring at lower
+	// bookkeeping cost.
+	Clock
+)
+
+func (p Policy) String() string {
+	if p == Clock {
+		return "clock"
+	}
+	return "lru"
+}
+
+const numShards = 16
+
+type blockKey struct {
+	file   uint64
+	offset uint64
+}
+
+// Cache is a sharded block cache. The zero value is not usable; call New.
+type Cache struct {
+	shards [numShards]shard
+}
+
+// New creates a cache holding up to capacity bytes of block data.
+// Capacity is split evenly across shards; a zero or negative capacity
+// yields a cache that stores nothing.
+func New(capacity int64, policy Policy) *Cache {
+	c := &Cache{}
+	per := capacity / numShards
+	for i := range c.shards {
+		c.shards[i].init(per, policy)
+	}
+	return c
+}
+
+func (c *Cache) shard(k blockKey) *shard {
+	h := k.file*0x9e3779b97f4a7c15 ^ k.offset*0xc2b2ae3d27d4eb4f
+	h ^= h >> 29
+	return &c.shards[h%numShards]
+}
+
+// Get returns the cached block, if resident.
+func (c *Cache) Get(file, offset uint64) ([]byte, bool) {
+	k := blockKey{file, offset}
+	return c.shard(k).get(k)
+}
+
+// Insert adds a block. Blocks larger than a shard's capacity are ignored.
+func (c *Cache) Insert(file, offset uint64, block []byte) {
+	k := blockKey{file, offset}
+	c.shard(k).insert(k, block)
+}
+
+// EvictFile drops every cached block belonging to file — what happens
+// implicitly when compaction deletes an input file and its pages leave
+// the cache.
+func (c *Cache) EvictFile(file uint64) {
+	for i := range c.shards {
+		c.shards[i].evictFile(file)
+	}
+}
+
+// ResidentBlocks returns how many blocks of the file are currently
+// cached; the compaction-aware prefetcher uses it to size its warm-up.
+func (c *Cache) ResidentBlocks(file uint64) int {
+	n := 0
+	for i := range c.shards {
+		n += c.shards[i].residentBlocks(file)
+	}
+	return n
+}
+
+// ResidentOffsets returns the block offsets of the file currently cached
+// — the hot-block telemetry the compaction-aware prefetcher translates
+// into key ranges to re-warm.
+func (c *Cache) ResidentOffsets(file uint64) []uint64 {
+	var out []uint64
+	for i := range c.shards {
+		out = c.shards[i].residentOffsets(file, out)
+	}
+	return out
+}
+
+// SizeBytes returns the total bytes resident.
+func (c *Cache) SizeBytes() int64 {
+	var n int64
+	for i := range c.shards {
+		n += c.shards[i].sizeBytes()
+	}
+	return n
+}
+
+// Len returns the number of resident blocks.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		n += c.shards[i].length()
+	}
+	return n
+}
+
+type entry struct {
+	key   blockKey
+	data  []byte
+	ref   bool          // Clock reference bit
+	elem  *list.Element // LRU position (LRU policy only)
+	index int           // position in ring (Clock policy only)
+}
+
+type shard struct {
+	mu       sync.Mutex
+	capacity int64
+	policy   Policy
+	size     int64
+	table    map[blockKey]*entry
+
+	// LRU state.
+	lru *list.List // front = most recent
+
+	// Clock state.
+	ring []*entry
+	hand int
+}
+
+func (s *shard) init(capacity int64, policy Policy) {
+	s.capacity = capacity
+	s.policy = policy
+	s.table = make(map[blockKey]*entry)
+	if policy == LRU {
+		s.lru = list.New()
+	}
+}
+
+func (s *shard) get(k blockKey) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.table[k]
+	if !ok {
+		return nil, false
+	}
+	switch s.policy {
+	case LRU:
+		s.lru.MoveToFront(e.elem)
+	case Clock:
+		e.ref = true
+	}
+	return e.data, true
+}
+
+func (s *shard) insert(k blockKey, data []byte) {
+	sz := int64(len(data)) + 64
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sz > s.capacity {
+		return
+	}
+	if old, ok := s.table[k]; ok {
+		s.size += int64(len(data)) - int64(len(old.data))
+		old.data = data
+		if s.policy == LRU {
+			s.lru.MoveToFront(old.elem)
+		} else {
+			old.ref = true
+		}
+		s.evictUntilFits()
+		return
+	}
+	e := &entry{key: k, data: data, ref: true}
+	s.table[k] = e
+	s.size += sz
+	switch s.policy {
+	case LRU:
+		e.elem = s.lru.PushFront(e)
+	case Clock:
+		e.index = len(s.ring)
+		s.ring = append(s.ring, e)
+	}
+	s.evictUntilFits()
+}
+
+func (s *shard) evictUntilFits() {
+	for s.size > s.capacity {
+		switch s.policy {
+		case LRU:
+			back := s.lru.Back()
+			if back == nil {
+				return
+			}
+			s.remove(back.Value.(*entry))
+		case Clock:
+			if len(s.ring) == 0 {
+				return
+			}
+			// Second-chance sweep.
+			for {
+				if s.hand >= len(s.ring) {
+					s.hand = 0
+				}
+				e := s.ring[s.hand]
+				if e.ref {
+					e.ref = false
+					s.hand++
+					continue
+				}
+				s.remove(e)
+				break
+			}
+		}
+	}
+}
+
+// remove unlinks e from all structures. Caller holds the lock.
+func (s *shard) remove(e *entry) {
+	delete(s.table, e.key)
+	s.size -= int64(len(e.data)) + 64
+	switch s.policy {
+	case LRU:
+		s.lru.Remove(e.elem)
+	case Clock:
+		last := len(s.ring) - 1
+		s.ring[e.index] = s.ring[last]
+		s.ring[e.index].index = e.index
+		s.ring = s.ring[:last]
+		if s.hand > last {
+			s.hand = 0
+		}
+	}
+}
+
+func (s *shard) evictFile(file uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var victims []*entry
+	for k, e := range s.table {
+		if k.file == file {
+			victims = append(victims, e)
+		}
+	}
+	for _, e := range victims {
+		s.remove(e)
+	}
+}
+
+func (s *shard) residentBlocks(file uint64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for k := range s.table {
+		if k.file == file {
+			n++
+		}
+	}
+	return n
+}
+
+func (s *shard) residentOffsets(file uint64, out []uint64) []uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k := range s.table {
+		if k.file == file {
+			out = append(out, k.offset)
+		}
+	}
+	return out
+}
+
+func (s *shard) sizeBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.size
+}
+
+func (s *shard) length() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.table)
+}

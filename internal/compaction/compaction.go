@@ -1,0 +1,240 @@
+// Package compaction implements the planning half of the LSM compaction
+// design space, factored along the four first-order primitives of Sarkar
+// et al. (VLDB'21): the *trigger* (when to compact), the *data layout*
+// (how many sorted runs a level may hold), the *granularity* (whole levels
+// vs single files), and the *data movement policy* (which file to pick).
+//
+// One parameterized picker covers the classic layouts as points in the
+// space, following Dostoevsky's K/Z formulation (Dayan & Idreos,
+// SIGMOD'18):
+//
+//	leveling       K=1,   Z=1
+//	tiering        K=T-1, Z=T-1
+//	lazy leveling  K=T-1, Z=1   (tiered inner levels, leveled last level)
+//	hybrid         any K, Z in between (the LSM-bush/Wacky continuum
+//	               direction of arbitrary per-level run counts)
+//
+// The package plans over immutable views of the tree and returns Tasks;
+// the engine executes them.
+package compaction
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// FileView is the planner's read-only view of one table file.
+type FileView struct {
+	Num        uint64
+	Size       uint64
+	Smallest   []byte // smallest user key
+	Largest    []byte // largest user key
+	Entries    uint64
+	Tombstones uint64
+	Seq        uint64 // creation order; lower = older
+}
+
+// RunView is a sorted run: files sorted by Smallest, non-overlapping.
+type RunView struct {
+	Files []FileView
+}
+
+// Size returns the run's total bytes.
+func (r RunView) Size() uint64 {
+	var s uint64
+	for _, f := range r.Files {
+		s += f.Size
+	}
+	return s
+}
+
+// LevelView is one level: one or more runs.
+type LevelView struct {
+	Runs []RunView
+}
+
+// Size returns the level's total bytes.
+func (l LevelView) Size() uint64 {
+	var s uint64
+	for _, r := range l.Runs {
+		s += r.Size()
+	}
+	return s
+}
+
+// Granularity selects how much data one compaction moves.
+type Granularity int
+
+const (
+	// WholeLevel merges every selected run in full (classic leveling /
+	// tiering; larger, less frequent compactions).
+	WholeLevel Granularity = iota
+	// SingleFile moves one file at a time (partial compaction à la
+	// LevelDB/RocksDB; smaller compactions, smoother tail latency). Only
+	// meaningful when the source level holds a single run (K=1).
+	SingleFile
+)
+
+func (g Granularity) String() string {
+	if g == SingleFile {
+		return "single-file"
+	}
+	return "whole-level"
+}
+
+// FilePicker selects which file a SingleFile compaction moves — the data
+// movement policy primitive.
+type FilePicker int
+
+const (
+	// PickRoundRobin cycles through the key space (LevelDB's policy).
+	PickRoundRobin FilePicker = iota
+	// PickMinOverlap chooses the file with the least overlapping bytes in
+	// the target level, minimizing write amplification.
+	PickMinOverlap
+	// PickMostTombstones chooses the file with the highest tombstone
+	// density, maximizing reclaimed space (Lethe-style delete-awareness).
+	PickMostTombstones
+	// PickOldest chooses the file that has been in the level longest
+	// (cold data first).
+	PickOldest
+)
+
+func (p FilePicker) String() string {
+	switch p {
+	case PickMinOverlap:
+		return "min-overlap"
+	case PickMostTombstones:
+		return "most-tombstones"
+	case PickOldest:
+		return "oldest"
+	default:
+		return "round-robin"
+	}
+}
+
+// Shape fixes the tree's layout parameters — the tunable design point.
+type Shape struct {
+	// SizeRatio T: each level holds T times its predecessor.
+	SizeRatio int
+	// K is the maximum number of runs in inner levels (1..T-1).
+	K int
+	// Z is the maximum number of runs in the last level (1..T-1).
+	Z int
+	// L0Trigger is the run count in level 0 that forces a flush-out.
+	L0Trigger int
+	// BaseBytes is the capacity of level 1 in bytes (typically buffer
+	// size × T).
+	BaseBytes uint64
+	// Granularity and Picker select partial-compaction behavior for K=1
+	// levels.
+	Granularity Granularity
+	Picker      FilePicker
+	// MaxLevels bounds the tree depth (the final level absorbs overflow).
+	MaxLevels int
+}
+
+// Validate normalizes and checks the shape.
+func (s *Shape) Validate() error {
+	if s.SizeRatio < 2 {
+		s.SizeRatio = 10
+	}
+	if s.K < 1 {
+		s.K = 1
+	}
+	if s.Z < 1 {
+		s.Z = 1
+	}
+	if s.K > s.SizeRatio-1 {
+		s.K = s.SizeRatio - 1
+	}
+	if s.Z > s.SizeRatio-1 {
+		s.Z = s.SizeRatio - 1
+	}
+	if s.L0Trigger < 1 {
+		s.L0Trigger = 4
+	}
+	if s.BaseBytes == 0 {
+		s.BaseBytes = 8 << 20
+	}
+	if s.MaxLevels < 2 {
+		s.MaxLevels = 7
+	}
+	if s.Granularity == SingleFile && s.K != 1 {
+		return fmt.Errorf("compaction: single-file granularity requires K=1, have K=%d", s.K)
+	}
+	return nil
+}
+
+// LevelCapacity returns the byte capacity of storage level i (level 0 is
+// capped by run count, not bytes).
+func (s Shape) LevelCapacity(i int) uint64 {
+	if i <= 0 {
+		return 0
+	}
+	c := s.BaseBytes
+	for j := 1; j < i; j++ {
+		c *= uint64(s.SizeRatio)
+	}
+	return c
+}
+
+// MaxRuns returns the run budget of level i given the deepest populated
+// level.
+func (s Shape) MaxRuns(i, lastLevel int) int {
+	if i == 0 {
+		return s.L0Trigger
+	}
+	if i >= lastLevel {
+		return s.Z
+	}
+	return s.K
+}
+
+// Task describes one compaction to execute.
+type Task struct {
+	// FromLevel is the source level.
+	FromLevel int
+	// InputFiles are the source files to merge (grouped per run in
+	// planning order; the executor merges them all).
+	InputFiles []FileView
+	// TargetLevel receives the output.
+	TargetLevel int
+	// TargetFiles are the overlapping files in TargetLevel that must join
+	// the merge (empty when the output is installed as a fresh run —
+	// tiered movement).
+	TargetFiles []FileView
+	// FreshRun reports whether the output forms a new run in TargetLevel
+	// (true) or replaces TargetFiles within the level's first run (false).
+	FreshRun bool
+	// Reason is a human-readable trigger description for logs.
+	Reason string
+}
+
+// InputBytes returns the total bytes the task reads.
+func (t *Task) InputBytes() uint64 {
+	var s uint64
+	for _, f := range t.InputFiles {
+		s += f.Size
+	}
+	for _, f := range t.TargetFiles {
+		s += f.Size
+	}
+	return s
+}
+
+// Overlaps reports whether key ranges [aLo,aHi] and [bLo,bHi] intersect.
+func Overlaps(aLo, aHi, bLo, bHi []byte) bool {
+	return bytes.Compare(aLo, bHi) <= 0 && bytes.Compare(bLo, aHi) <= 0
+}
+
+// OverlappingFiles returns the files of run intersecting [lo, hi].
+func OverlappingFiles(run RunView, lo, hi []byte) []FileView {
+	var out []FileView
+	for _, f := range run.Files {
+		if Overlaps(lo, hi, f.Smallest, f.Largest) {
+			out = append(out, f)
+		}
+	}
+	return out
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"lsmkv/internal/kv"
+)
+
+// WAL record encoding: one record per write batch.
+//
+//	uvarint firstSeq
+//	uvarint entry count
+//	per entry: kind byte | length-prefixed key | length-prefixed value
+//
+// Entry i carries sequence number firstSeq+i.
+
+var errBadBatch = errors.New("core: corrupt WAL batch")
+
+type batchEntry struct {
+	kind  kv.Kind
+	key   []byte
+	value []byte
+}
+
+func encodeBatch(firstSeq kv.SeqNum, entries []batchEntry) []byte {
+	out := binary.AppendUvarint(nil, uint64(firstSeq))
+	out = binary.AppendUvarint(out, uint64(len(entries)))
+	for _, e := range entries {
+		out = append(out, byte(e.kind))
+		out = kv.AppendLengthPrefixed(out, e.key)
+		out = kv.AppendLengthPrefixed(out, e.value)
+	}
+	return out
+}
+
+func decodeBatch(data []byte, fn func(seq kv.SeqNum, kind kv.Kind, key, value []byte) error) error {
+	firstSeq, w := binary.Uvarint(data)
+	if w <= 0 {
+		return errBadBatch
+	}
+	data = data[w:]
+	count, w := binary.Uvarint(data)
+	if w <= 0 {
+		return errBadBatch
+	}
+	data = data[w:]
+	for i := uint64(0); i < count; i++ {
+		if len(data) < 1 {
+			return errBadBatch
+		}
+		kind := kv.Kind(data[0])
+		data = data[1:]
+		var key, value []byte
+		var ok bool
+		key, data, ok = kv.DecodeLengthPrefixed(data)
+		if !ok {
+			return errBadBatch
+		}
+		value, data, ok = kv.DecodeLengthPrefixed(data)
+		if !ok {
+			return errBadBatch
+		}
+		if err := fn(kv.SeqNum(firstSeq)+kv.SeqNum(i), kind, key, value); err != nil {
+			return err
+		}
+	}
+	if len(data) != 0 {
+		return errBadBatch
+	}
+	return nil
+}

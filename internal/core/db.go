@@ -1,0 +1,603 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"lsmkv/internal/cache"
+	"lsmkv/internal/compaction"
+	"lsmkv/internal/filter"
+	"lsmkv/internal/iostat"
+	"lsmkv/internal/kv"
+	"lsmkv/internal/manifest"
+	"lsmkv/internal/memtable"
+	"lsmkv/internal/sstable"
+	"lsmkv/internal/vlog"
+	"lsmkv/internal/wal"
+)
+
+// Errors returned by the engine.
+var (
+	ErrNotFound = errors.New("lsmkv: key not found")
+	ErrClosed   = errors.New("lsmkv: database closed")
+)
+
+// buffer abstracts the two memtable implementations.
+type buffer interface {
+	Add(e kv.Entry)
+	Get(key []byte, seq kv.SeqNum) (value []byte, kind kv.Kind, found bool)
+	ApproxSize() int64
+	Len() int
+	NewIterator() kv.Iterator
+}
+
+// immutableBuffer is a frozen memtable awaiting flush, paired with its
+// WAL file.
+type immutableBuffer struct {
+	buf    buffer
+	walNum uint64
+}
+
+// DB is the storage engine. It is safe for concurrent use.
+type DB struct {
+	opts   Options
+	picker *compaction.Picker
+
+	mu      sync.Mutex
+	cond    *sync.Cond // signals background work / stall relief
+	mem     buffer
+	imms    []immutableBuffer
+	wal     *wal.Writer
+	walNum  uint64
+	seq     kv.SeqNum
+	state   *manifest.State
+	current *version
+	closed  bool
+	bgErr   error
+
+	// snapshots maps active snapshot seqs to their refcounts.
+	snapshots map[kv.SeqNum]int
+
+	// monkeyBits caches the per-level bits/key allocation; recomputed on
+	// every version install.
+	monkeyBits []float64
+
+	registry *tableRegistry
+	cache    *cache.Cache
+	vlog     *vlog.Log
+
+	bgWake chan struct{}
+	bgDone chan struct{}
+}
+
+// Open creates or reopens a database.
+func Open(opts Options) (*DB, error) {
+	o, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(o.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	picker, err := compaction.NewPicker(o.Shape)
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{
+		opts:      o,
+		picker:    picker,
+		snapshots: make(map[kv.SeqNum]int),
+		registry:  newTableRegistry(),
+		bgWake:    make(chan struct{}, 1),
+		bgDone:    make(chan struct{}),
+	}
+	db.cond = sync.NewCond(&db.mu)
+	if o.CacheBytes > 0 {
+		db.cache = cache.New(o.CacheBytes, o.CachePolicy)
+	}
+	if o.ValueSeparation {
+		db.vlog, err = vlog.Open(vlogDir(o.Dir), o.VlogSegmentBytes)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	state, err := manifest.Load(o.Dir)
+	if err != nil {
+		return nil, err
+	}
+	db.state = state
+	db.seq = kv.SeqNum(state.LastSeq)
+	db.current, err = db.buildVersion(state)
+	if err != nil {
+		db.shutdownPartial()
+		return nil, err
+	}
+	db.refreshMonkeyLocked()
+
+	db.mem = db.newBuffer()
+	if err := db.replayWALs(); err != nil {
+		db.shutdownPartial()
+		return nil, err
+	}
+	if !o.DisableWAL {
+		if err := db.rotateWALLocked(); err != nil {
+			db.shutdownPartial()
+			return nil, err
+		}
+	}
+
+	go db.background()
+	return db, nil
+}
+
+func vlogDir(dir string) string { return dir + "/vlog" }
+
+func (db *DB) shutdownPartial() {
+	db.registry.closeAll()
+	if db.vlog != nil {
+		db.vlog.Close()
+	}
+}
+
+func (db *DB) newBuffer() buffer {
+	if db.opts.TwoLevelMemtable {
+		return memtable.NewTwoLevel(db.opts.MemtableBytes / 8)
+	}
+	return memtable.New()
+}
+
+// replayWALs re-applies batches from any WAL files left by a crash, in
+// file-number order, then flushes the recovered buffer.
+func (db *DB) replayWALs() error {
+	matches, err := os.ReadDir(db.opts.Dir)
+	if err != nil {
+		return err
+	}
+	var nums []uint64
+	for _, de := range matches {
+		var n uint64
+		if _, err := fmt.Sscanf(de.Name(), "%06d.wal", &n); err == nil {
+			nums = append(nums, n)
+		}
+	}
+	sort.Slice(nums, func(i, j int) bool { return nums[i] < nums[j] })
+	recovered := 0
+	for _, n := range nums {
+		err := wal.Replay(db.walPath(n), func(payload []byte) error {
+			return decodeBatch(payload, func(seq kv.SeqNum, kind kv.Kind, key, value []byte) error {
+				db.mem.Add(kv.Entry{Key: kv.MakeInternalKey(key, seq, kind), Value: value})
+				if seq > db.seq {
+					db.seq = seq
+				}
+				recovered++
+				return nil
+			})
+		})
+		if err != nil {
+			return fmt.Errorf("replay %06d.wal: %w", n, err)
+		}
+	}
+	if recovered > 0 {
+		db.opts.Logf("recovered %d entries from %d WAL files", recovered, len(nums))
+		if err := db.flushBufferToL0(db.mem); err != nil {
+			return err
+		}
+		db.mem = db.newBuffer()
+	}
+	for _, n := range nums {
+		os.Remove(db.walPath(n))
+	}
+	return nil
+}
+
+// rotateWALLocked starts a fresh WAL for the active memtable. Caller may
+// hold db.mu or be in Open.
+func (db *DB) rotateWALLocked() error {
+	db.state.NextFileNum++
+	num := db.state.NextFileNum
+	w, err := wal.Create(db.walPath(num), wal.Options{SyncOnWrite: db.opts.WALSync})
+	if err != nil {
+		return err
+	}
+	db.wal = w
+	db.walNum = num
+	return nil
+}
+
+// Put stores key -> value.
+func (db *DB) Put(key, value []byte) error {
+	return db.write(kv.KindSet, key, value)
+}
+
+// Delete removes key (writes a tombstone).
+func (db *DB) Delete(key []byte) error {
+	return db.write(kv.KindDelete, key, nil)
+}
+
+func (db *DB) write(kind kv.Kind, key, value []byte) error {
+	if len(key) == 0 {
+		return errors.New("lsmkv: empty key")
+	}
+	// Key-value separation happens outside the lock: append the value to
+	// the log and store the pointer instead.
+	storedKind := kind
+	storedValue := value
+	if kind == kv.KindSet && db.vlog != nil && len(value) >= db.opts.ValueThreshold {
+		ptr, err := db.vlog.Append(key, value)
+		if err != nil {
+			return err
+		}
+		storedKind = kv.KindValuePointer
+		storedValue = ptr.Encode()
+	}
+
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	// Write stalls: a full flush queue or an overloaded level 0 both mean
+	// maintenance has fallen behind; wait for the background thread.
+	for !db.closed && db.bgErr == nil &&
+		(len(db.imms) >= db.opts.MaxImmutableMemtables || db.l0RunsLocked() >= db.opts.L0StopTrigger) {
+		db.wake()
+		db.cond.Wait()
+	}
+	if db.closed {
+		return ErrClosed
+	}
+	if db.bgErr != nil {
+		return db.bgErr
+	}
+	db.seq++
+	seq := db.seq
+	if db.wal != nil {
+		rec := encodeBatch(seq, []batchEntry{{kind: storedKind, key: key, value: storedValue}})
+		if err := db.wal.AddRecord(rec); err != nil {
+			return err
+		}
+	}
+	db.mem.Add(kv.Entry{Key: kv.MakeInternalKey(key, seq, storedKind), Value: storedValue})
+	db.opts.Stats.BytesWritten.Add(int64(len(key) + len(storedValue)))
+
+	if db.mem.ApproxSize() >= db.opts.MemtableBytes {
+		if err := db.freezeMemLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// freezeMemLocked moves the active memtable to the flush queue and starts
+// a fresh one. Caller holds db.mu.
+func (db *DB) freezeMemLocked() error {
+	if db.mem.Len() == 0 {
+		return nil
+	}
+	db.imms = append(db.imms, immutableBuffer{buf: db.mem, walNum: db.walNum})
+	db.mem = db.newBuffer()
+	if !db.opts.DisableWAL {
+		if db.wal != nil {
+			if err := db.wal.Close(); err != nil {
+				return err
+			}
+		}
+		if err := db.rotateWALLocked(); err != nil {
+			return err
+		}
+	}
+	db.wake()
+	return nil
+}
+
+// l0RunsLocked returns the current run count of level 0. Caller holds
+// db.mu.
+func (db *DB) l0RunsLocked() int {
+	if db.current == nil || len(db.current.levels) == 0 {
+		return 0
+	}
+	return len(db.current.levels[0])
+}
+
+func (db *DB) wake() {
+	select {
+	case db.bgWake <- struct{}{}:
+	default:
+	}
+}
+
+// Get returns the newest visible value of key.
+func (db *DB) Get(key []byte) ([]byte, error) {
+	return db.get(key, kv.MaxSeqNum)
+}
+
+func (db *DB) get(key []byte, snap kv.SeqNum) ([]byte, error) {
+	db.opts.Stats.PointLookups.Add(1)
+	value, kind, found, err := db.getInternal(key, snap)
+	if err != nil {
+		return nil, err
+	}
+	if !found || kind == kv.KindDelete {
+		return nil, ErrNotFound
+	}
+	if kind == kv.KindValuePointer {
+		ptr, err := vlog.DecodePointer(value)
+		if err != nil {
+			return nil, err
+		}
+		db.opts.Stats.VlogReads.Add(1)
+		return db.vlog.Get(ptr)
+	}
+	return value, nil
+}
+
+// getInternal walks buffer -> immutables -> tree, newest first, returning
+// the first (newest visible) version of key.
+func (db *DB) getInternal(key []byte, snap kv.SeqNum) (value []byte, kind kv.Kind, found bool, err error) {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return nil, 0, false, ErrClosed
+	}
+	mem := db.mem
+	imms := make([]buffer, len(db.imms))
+	for i, im := range db.imms {
+		imms[i] = im.buf
+	}
+	v := db.current
+	v.ref()
+	db.mu.Unlock()
+	defer v.unref()
+
+	if value, kind, found = mem.Get(key, snap); found {
+		return value, kind, true, nil
+	}
+	for i := len(imms) - 1; i >= 0; i-- { // newest immutable first
+		if value, kind, found = imms[i].Get(key, snap); found {
+			return value, kind, true, nil
+		}
+	}
+
+	kh := filter.HashKey(key) // shared across every filter probe below
+	for li, level := range v.levels {
+		for ri := len(level) - 1; ri >= 0; ri-- { // newest run first
+			r := level[ri]
+			th := r.find(key)
+			if th == nil {
+				continue
+			}
+			// Skip runs whose newest data is beyond the snapshot? Seq
+			// bounds prune only when the whole file is too new.
+			if kv.SeqNum(th.meta.SmallestSeq) > snap {
+				continue
+			}
+			if !th.reader.MayContain(kh) {
+				continue
+			}
+			db.opts.Stats.RunsProbed.Add(1)
+			value, kind, found, err = th.reader.Get(key, kh, snap)
+			if err != nil {
+				return nil, 0, false, err
+			}
+			if found {
+				return value, kind, true, nil
+			}
+		}
+		_ = li
+	}
+	return nil, 0, false, nil
+}
+
+// Flush forces the active memtable to storage and waits for completion.
+func (db *DB) Flush() error {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return ErrClosed
+	}
+	if err := db.freezeMemLocked(); err != nil {
+		db.mu.Unlock()
+		return err
+	}
+	for len(db.imms) > 0 && db.bgErr == nil && !db.closed {
+		db.cond.Wait()
+	}
+	err := db.bgErr
+	db.mu.Unlock()
+	return err
+}
+
+// WaitIdle blocks until no flush or compaction work remains.
+func (db *DB) WaitIdle() error {
+	for {
+		db.mu.Lock()
+		if db.closed {
+			db.mu.Unlock()
+			return ErrClosed
+		}
+		if db.bgErr != nil {
+			err := db.bgErr
+			db.mu.Unlock()
+			return err
+		}
+		idle := len(db.imms) == 0 && db.picker.Pick(db.current.view()) == nil
+		db.mu.Unlock()
+		if idle {
+			return nil
+		}
+		db.wake()
+		db.mu.Lock()
+		db.cond.Wait()
+		db.mu.Unlock()
+	}
+}
+
+// background is the single maintenance goroutine: it drains the flush
+// queue and applies compactions until the shape is satisfied.
+func (db *DB) background() {
+	defer close(db.bgDone)
+	for {
+		db.mu.Lock()
+		for !db.closed && db.bgErr == nil && len(db.imms) == 0 && db.picker.Pick(db.current.view()) == nil {
+			db.mu.Unlock()
+			select {
+			case <-db.bgWake:
+			}
+			db.mu.Lock()
+			if db.closed {
+				db.mu.Unlock()
+				return
+			}
+		}
+		if db.closed || db.bgErr != nil {
+			db.mu.Unlock()
+			return
+		}
+		var job func() error
+		if len(db.imms) > 0 {
+			job = db.flushOldestImm
+		} else if task := db.picker.Pick(db.current.view()); task != nil {
+			job = func() error { return db.runCompaction(task) }
+		}
+		db.mu.Unlock()
+		if job == nil {
+			continue
+		}
+		if err := job(); err != nil {
+			db.mu.Lock()
+			db.bgErr = err
+			db.opts.Logf("background error: %v", err)
+			db.cond.Broadcast()
+			db.mu.Unlock()
+			return
+		}
+		db.mu.Lock()
+		db.cond.Broadcast()
+		db.mu.Unlock()
+	}
+}
+
+// Close flushes the memtable and stops background work.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return ErrClosed
+	}
+	// Flush what we can before shutting down.
+	flushErr := db.freezeMemLocked()
+	for flushErr == nil && len(db.imms) > 0 && db.bgErr == nil {
+		db.wake()
+		db.cond.Wait()
+	}
+	db.closed = true
+	db.cond.Broadcast()
+	db.mu.Unlock()
+
+	db.wake()
+	<-db.bgDone
+
+	db.mu.Lock()
+	if db.wal != nil {
+		db.wal.Close()
+		os.Remove(db.walPath(db.walNum))
+	}
+	cur := db.current
+	db.mu.Unlock()
+	if cur != nil {
+		cur.unref()
+	}
+	db.registry.closeAll()
+	if db.vlog != nil {
+		db.vlog.Close()
+	}
+	if flushErr != nil {
+		return flushErr
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the engine's I/O counters.
+func (db *DB) Stats() iostat.Snapshot { return db.opts.Stats.Snapshot() }
+
+// StatsHandle exposes the live counters (for harnesses that diff
+// snapshots around phases).
+func (db *DB) StatsHandle() *iostat.Stats { return db.opts.Stats }
+
+// cacheIface adapts the possibly-nil cache to the sstable hook.
+func (db *DB) cacheIface() sstable.BlockCache {
+	if db.cache == nil {
+		return nil
+	}
+	return db.cache
+}
+
+// Cache exposes the block cache (nil when disabled).
+func (db *DB) Cache() *cache.Cache { return db.cache }
+
+// refreshMonkeyLocked recomputes the per-level filter allocation from the
+// current tree. Caller holds db.mu (or is in Open).
+func (db *DB) refreshMonkeyLocked() {
+	if !db.opts.MonkeyFilters || db.opts.FilterPolicy.Kind == filter.KindNone {
+		db.monkeyBits = nil
+		return
+	}
+	db.monkeyBits = monkeyBitsFor(db.levelSpecsLocked(nil), db.opts.FilterPolicy.BitsPerKey)
+}
+
+// levelSpecsLocked summarizes the current tree for allocation, skipping
+// the files in exclude (those being compacted away). Caller holds db.mu.
+func (db *DB) levelSpecsLocked(exclude map[uint64]bool) []filter.LevelSpec {
+	specs := make([]filter.LevelSpec, len(db.current.levels))
+	for i, level := range db.current.levels {
+		specs[i].Runs = len(level)
+		for _, r := range level {
+			for _, t := range r.tables {
+				if exclude[t.meta.Num] {
+					continue
+				}
+				specs[i].Keys += int64(t.meta.Entries)
+			}
+		}
+	}
+	return specs
+}
+
+func monkeyBitsFor(specs []filter.LevelSpec, avgBitsPerKey float64) []float64 {
+	var totalKeys int64
+	for _, s := range specs {
+		totalKeys += s.Keys
+	}
+	if totalKeys == 0 {
+		return nil
+	}
+	return filter.MonkeyAllocation(specs, avgBitsPerKey*float64(totalKeys))
+}
+
+// filterBitsForLevel returns the bits/key budget for a table of
+// prospectiveKeys entries being built at the given level. Under Monkey,
+// the allocation is recomputed for the shape the pending job is about to
+// create: the files in exclude (compaction inputs) leave their levels and
+// prospectiveKeys arrive at the target, so a file landing in a brand-new
+// deepest level is budgeted for the post-compaction tree.
+func (db *DB) filterBitsForLevel(level int, prospectiveKeys int, exclude map[uint64]bool) float64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if !db.opts.MonkeyFilters || db.opts.FilterPolicy.Kind == filter.KindNone {
+		return db.opts.FilterPolicy.BitsPerKey
+	}
+	specs := db.levelSpecsLocked(exclude)
+	for len(specs) <= level {
+		specs = append(specs, filter.LevelSpec{})
+	}
+	specs[level].Keys += int64(prospectiveKeys)
+	if specs[level].Runs == 0 {
+		specs[level].Runs = 1
+	}
+	bits := monkeyBitsFor(specs, db.opts.FilterPolicy.BitsPerKey)
+	if bits == nil || level >= len(bits) {
+		return db.opts.FilterPolicy.BitsPerKey
+	}
+	return bits[level]
+}

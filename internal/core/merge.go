@@ -1,0 +1,212 @@
+package core
+
+import (
+	"container/heap"
+
+	"lsmkv/internal/kv"
+)
+
+// mergingIter merges multiple internal-key-ordered iterators into one,
+// the standard k-way merge behind scans and compactions. Ties cannot
+// occur across well-formed inputs (internal keys are unique), but the
+// heap breaks them by input ordinal (younger source first) defensively.
+type mergingIter struct {
+	h      mergeHeap
+	inputs []kv.Iterator
+	err    error
+	inited bool
+}
+
+type mergeItem struct {
+	it  kv.Iterator
+	ord int
+}
+
+type mergeHeap []mergeItem
+
+func (h mergeHeap) Len() int { return len(h) }
+
+func (h mergeHeap) Less(i, j int) bool {
+	c := kv.CompareInternal(h[i].it.Key(), h[j].it.Key())
+	if c != 0 {
+		return c < 0
+	}
+	return h[i].ord < h[j].ord
+}
+
+func (h mergeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x any)   { *h = append(*h, x.(mergeItem)) }
+func (h *mergeHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// newMergingIter combines inputs; ordinal 0 is the youngest source.
+func newMergingIter(inputs []kv.Iterator) *mergingIter {
+	return &mergingIter{inputs: inputs}
+}
+
+var _ kv.Iterator = (*mergingIter)(nil)
+
+func (m *mergingIter) reset(position func(kv.Iterator) bool) bool {
+	m.h = m.h[:0]
+	m.inited = true
+	for ord, it := range m.inputs {
+		if position(it) {
+			m.h = append(m.h, mergeItem{it: it, ord: ord})
+		} else if err := it.Error(); err != nil {
+			m.err = err
+			return false
+		}
+	}
+	heap.Init(&m.h)
+	return len(m.h) > 0
+}
+
+func (m *mergingIter) First() bool {
+	return m.reset(func(it kv.Iterator) bool { return it.First() })
+}
+
+func (m *mergingIter) SeekGE(target kv.InternalKey) bool {
+	return m.reset(func(it kv.Iterator) bool { return it.SeekGE(target) })
+}
+
+func (m *mergingIter) Next() bool {
+	if len(m.h) == 0 {
+		return false
+	}
+	top := &m.h[0]
+	if top.it.Next() {
+		heap.Fix(&m.h, 0)
+	} else {
+		if err := top.it.Error(); err != nil {
+			m.err = err
+			return false
+		}
+		heap.Pop(&m.h)
+	}
+	return len(m.h) > 0
+}
+
+func (m *mergingIter) Valid() bool { return len(m.h) > 0 }
+
+func (m *mergingIter) Key() kv.InternalKey { return m.h[0].it.Key() }
+
+func (m *mergingIter) Value() []byte { return m.h[0].it.Value() }
+
+func (m *mergingIter) Error() error { return m.err }
+
+func (m *mergingIter) Close() error {
+	var first error
+	for _, it := range m.inputs {
+		if err := it.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if m.err != nil && first == nil {
+		first = m.err
+	}
+	m.h = nil
+	return first
+}
+
+// runIter iterates one sorted run spanning multiple table files.
+type runIter struct {
+	r   *run
+	idx int
+	it  kv.Iterator
+	err error
+}
+
+var _ kv.Iterator = (*runIter)(nil)
+
+func newRunIter(r *run) *runIter { return &runIter{r: r, idx: -1} }
+
+func (ri *runIter) open(idx int) bool {
+	if ri.it != nil {
+		ri.it.Close()
+		ri.it = nil
+	}
+	if idx < 0 || idx >= len(ri.r.tables) {
+		return false
+	}
+	ri.idx = idx
+	ri.it = ri.r.tables[idx].reader.NewIterator()
+	return true
+}
+
+func (ri *runIter) First() bool {
+	if !ri.open(0) {
+		return false
+	}
+	if ri.it.First() {
+		return true
+	}
+	return ri.advance()
+}
+
+func (ri *runIter) advance() bool {
+	for {
+		if ri.it != nil {
+			if err := ri.it.Error(); err != nil {
+				ri.err = err
+				return false
+			}
+		}
+		if !ri.open(ri.idx + 1) {
+			return false
+		}
+		if ri.it.First() {
+			return true
+		}
+	}
+}
+
+func (ri *runIter) SeekGE(target kv.InternalKey) bool {
+	// Locate the first table whose largest key might reach the target's
+	// user key; versions of one user key never span tables within a run.
+	i := 0
+	for ; i < len(ri.r.tables); i++ {
+		if string(ri.r.tables[i].meta.Largest) >= string(target.UserKey) {
+			break
+		}
+	}
+	if !ri.open(i) {
+		return false
+	}
+	if ri.it.SeekGE(target) {
+		return true
+	}
+	return ri.advance()
+}
+
+func (ri *runIter) Next() bool {
+	if ri.it == nil {
+		return false
+	}
+	if ri.it.Next() {
+		return true
+	}
+	return ri.advance()
+}
+
+func (ri *runIter) Valid() bool { return ri.it != nil && ri.it.Valid() }
+
+func (ri *runIter) Key() kv.InternalKey { return ri.it.Key() }
+
+func (ri *runIter) Value() []byte { return ri.it.Value() }
+
+func (ri *runIter) Error() error {
+	if ri.err != nil {
+		return ri.err
+	}
+	if ri.it != nil {
+		return ri.it.Error()
+	}
+	return nil
+}
+
+func (ri *runIter) Close() error {
+	if ri.it != nil {
+		ri.it.Close()
+		ri.it = nil
+	}
+	return ri.err
+}

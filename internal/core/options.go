@@ -1,0 +1,172 @@
+// Package core implements the LSM storage engine that composes every
+// substrate in this repository: memtables and WAL on the write path;
+// leveled/tiered/lazy-leveled/hybrid data layouts maintained by the
+// compaction planner; and the read path the tutorial is about — fence
+// pointers, point filters (with Monkey allocation), range filters, block
+// cache (with compaction-aware prefetch), data-block hash indexes, and
+// learned indexes. Every design choice the tutorial surveys is a field of
+// Options, making the engine a navigable point in the LSM design space.
+package core
+
+import (
+	"fmt"
+
+	"lsmkv/internal/cache"
+	"lsmkv/internal/compaction"
+	"lsmkv/internal/filter"
+	"lsmkv/internal/iostat"
+	"lsmkv/internal/rangefilter"
+	"lsmkv/internal/sstable"
+)
+
+// Options is the engine's design point. Zero values select sane defaults
+// (a RocksDB-flavored leveled LSM with 10-bits/key Bloom filters).
+type Options struct {
+	// Dir is the database directory (required).
+	Dir string
+
+	// ---- Write path / buffering ----
+
+	// MemtableBytes is the buffer capacity before flush. Default 4 MiB.
+	MemtableBytes int64
+	// TwoLevelMemtable enables the FloDB-style hash-front buffer.
+	TwoLevelMemtable bool
+	// MaxImmutableMemtables bounds the flush queue; writers stall beyond
+	// it. Default 2.
+	MaxImmutableMemtables int
+	// L0StopTrigger stalls writers while level 0 holds at least this many
+	// runs, so compactions keep pace with flushes instead of starving
+	// behind them (RocksDB's L0 stop trigger). Default 6× the shape's
+	// L0Trigger.
+	L0StopTrigger int
+	// DisableWAL trades durability for ingest speed.
+	DisableWAL bool
+	// WALSync fsyncs the log on every write batch.
+	WALSync bool
+
+	// ---- Data layout / compaction (Module I) ----
+
+	// Shape is the compaction design point: size ratio T, runs per level
+	// K/Z, trigger, granularity, and movement policy.
+	Shape compaction.Shape
+
+	// ---- Table format ----
+
+	// BlockSize is the data-block size. Default 4096.
+	BlockSize int
+	// RestartInterval is the block restart spacing. Default 16.
+	RestartInterval int
+
+	// ---- Point filters (Module II-i, II-v) ----
+
+	// FilterPolicy selects the AMQ structure and the average bits/key
+	// budget.
+	FilterPolicy filter.Policy
+	// FilterPartitioned builds one filter partition per data block.
+	FilterPartitioned bool
+	// MonkeyFilters redistributes the filter budget across levels
+	// (smaller levels get more bits/key) instead of uniform allocation.
+	MonkeyFilters bool
+
+	// ---- Range filters (Module II-ii) ----
+
+	// RangeFilter selects the per-table range filter.
+	RangeFilter rangefilter.Policy
+
+	// ---- In-block and index acceleration (Module II-iv) ----
+
+	// BlockHashIndex appends per-block hash indexes for point lookups.
+	BlockHashIndex bool
+	// LearnedIndex stores a learned model over fences in each table and
+	// uses it at read time.
+	LearnedIndex sstable.LearnedKind
+
+	// ---- Caching (Module II-iii) ----
+
+	// CacheBytes is the block cache capacity. 0 disables the cache.
+	CacheBytes int64
+	// CachePolicy selects LRU or Clock replacement.
+	CachePolicy cache.Policy
+	// PrefetchAfterCompaction re-warms the cache with output blocks after
+	// a compaction invalidates cached input blocks (Leaper-style).
+	PrefetchAfterCompaction bool
+
+	// ---- Key-value separation ----
+
+	// ValueSeparation stores values at or above ValueThreshold in a
+	// WiscKey-style value log.
+	ValueSeparation bool
+	// ValueThreshold is the minimum value size that is separated.
+	// Default 1024.
+	ValueThreshold int
+	// VlogSegmentBytes bounds value-log segment size. Default 64 MiB.
+	VlogSegmentBytes uint64
+
+	// ---- Stability (Module III-B) ----
+
+	// CompactionMaxBytesPerSec throttles compaction output, trading
+	// slower maintenance for steadier foreground latency (the
+	// SILK/Luo-&-Carey performance-stability direction). 0 disables.
+	CompactionMaxBytesPerSec int64
+
+	// ---- Instrumentation ----
+
+	// Stats receives I/O accounting. Nil allocates a private instance.
+	Stats *iostat.Stats
+	// Logf, when set, receives engine event logs.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() (Options, error) {
+	if o.Dir == "" {
+		return o, fmt.Errorf("core: Options.Dir is required")
+	}
+	if o.MemtableBytes <= 0 {
+		o.MemtableBytes = 4 << 20
+	}
+	if o.MaxImmutableMemtables <= 0 {
+		o.MaxImmutableMemtables = 2
+	}
+	if o.Shape.BaseBytes == 0 {
+		o.Shape.BaseBytes = uint64(o.MemtableBytes) * uint64(maxInt(o.Shape.SizeRatio, 2))
+	}
+	if err := o.Shape.Validate(); err != nil {
+		return o, err
+	}
+	if o.L0StopTrigger <= 0 {
+		o.L0StopTrigger = o.Shape.L0Trigger * 6
+	}
+	if o.BlockSize <= 0 {
+		o.BlockSize = 4096
+	}
+	if o.RestartInterval <= 0 {
+		o.RestartInterval = 16
+	}
+	if o.ValueThreshold <= 0 {
+		o.ValueThreshold = 1024
+	}
+	if o.VlogSegmentBytes == 0 {
+		o.VlogSegmentBytes = 64 << 20
+	}
+	if o.Stats == nil {
+		o.Stats = &iostat.Stats{}
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

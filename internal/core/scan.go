@@ -1,0 +1,260 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+
+	"lsmkv/internal/kv"
+	"lsmkv/internal/vlog"
+)
+
+// Snapshot pins a point-in-time view: reads through it see only writes
+// with sequence numbers at or below the snapshot. Compactions retain the
+// versions a live snapshot needs.
+type Snapshot struct {
+	db       *DB
+	seq      kv.SeqNum
+	released bool
+}
+
+// NewSnapshot captures the current state. Callers must Release it.
+func (db *DB) NewSnapshot() *Snapshot {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	s := &Snapshot{db: db, seq: db.seq}
+	db.snapshots[s.seq]++
+	return s
+}
+
+// Seq returns the snapshot's sequence number.
+func (s *Snapshot) Seq() kv.SeqNum { return s.seq }
+
+// Release unpins the snapshot; idempotent.
+func (s *Snapshot) Release() {
+	if s.released {
+		return
+	}
+	s.released = true
+	s.db.mu.Lock()
+	defer s.db.mu.Unlock()
+	if n := s.db.snapshots[s.seq]; n <= 1 {
+		delete(s.db.snapshots, s.seq)
+	} else {
+		s.db.snapshots[s.seq] = n - 1
+	}
+}
+
+// Get reads key at the snapshot.
+func (s *Snapshot) Get(key []byte) ([]byte, error) {
+	if s.released {
+		return nil, fmt.Errorf("lsmkv: snapshot already released")
+	}
+	return s.db.get(key, s.seq)
+}
+
+// Scan iterates the snapshot over [lo, hi]; see DB.Scan.
+func (s *Snapshot) Scan(lo, hi []byte, fn func(key, value []byte) bool) error {
+	if s.released {
+		return fmt.Errorf("lsmkv: snapshot already released")
+	}
+	return s.db.scan(lo, hi, s.seq, fn)
+}
+
+// Scan calls fn for the newest visible version of every key in [lo, hi]
+// (inclusive bounds), in ascending key order, until fn returns false or
+// the range is exhausted. Range filters screen runs that provably hold no
+// key in the range before any storage access.
+func (db *DB) Scan(lo, hi []byte, fn func(key, value []byte) bool) error {
+	return db.scan(lo, hi, kv.MaxSeqNum, fn)
+}
+
+func (db *DB) scan(lo, hi []byte, snap kv.SeqNum, fn func(key, value []byte) bool) error {
+	if bytes.Compare(lo, hi) > 0 {
+		return nil
+	}
+	db.opts.Stats.RangeLookups.Add(1)
+
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return ErrClosed
+	}
+	mem := db.mem
+	imms := make([]buffer, len(db.imms))
+	for i, im := range db.imms {
+		imms[i] = im.buf
+	}
+	v := db.current
+	v.ref()
+	db.mu.Unlock()
+	defer v.unref()
+
+	// Youngest sources first: their merge ordinal breaks (impossible)
+	// ties, and more importantly this keeps the reasoning simple.
+	var iters []kv.Iterator
+	iters = append(iters, mem.NewIterator())
+	for i := len(imms) - 1; i >= 0; i-- {
+		iters = append(iters, imms[i].NewIterator())
+	}
+	for _, level := range v.levels {
+		for ri := len(level) - 1; ri >= 0; ri-- {
+			r := level[ri]
+			tables := r.overlaps(lo, hi)
+			if len(tables) == 0 {
+				continue
+			}
+			// Range-filter screening: drop tables that provably hold no
+			// key in [lo, hi].
+			var kept []*tableHandle
+			for _, th := range tables {
+				if th.reader.MayContainRange(lo, hi) {
+					kept = append(kept, th)
+				}
+			}
+			if len(kept) == 0 {
+				continue
+			}
+			iters = append(iters, newRunIter(&run{tables: kept}))
+		}
+	}
+	m := newMergingIter(iters)
+	defer m.Close()
+
+	ok := m.SeekGE(kv.MakeSearchKey(lo, snap))
+	var lastUser []byte
+	haveLast := false
+	for ; ok; ok = m.Next() {
+		ik := m.Key()
+		if bytes.Compare(ik.UserKey, hi) > 0 {
+			break
+		}
+		if !ik.Visible(snap) {
+			continue
+		}
+		if haveLast && bytes.Equal(ik.UserKey, lastUser) {
+			continue // older version of an already-emitted (or deleted) key
+		}
+		lastUser = append(lastUser[:0], ik.UserKey...)
+		haveLast = true
+		if ik.Kind == kv.KindDelete {
+			continue
+		}
+		value := m.Value()
+		if ik.Kind == kv.KindValuePointer {
+			ptr, err := vlog.DecodePointer(value)
+			if err != nil {
+				return err
+			}
+			db.opts.Stats.VlogReads.Add(1)
+			value, err = db.vlog.Get(ptr)
+			if err != nil {
+				return err
+			}
+		}
+		if !fn(append([]byte(nil), ik.UserKey...), append([]byte(nil), value...)) {
+			break
+		}
+	}
+	return m.Error()
+}
+
+// RunValueLogGC collects one value-log segment, relocating live values by
+// re-writing them through the engine. It reports whether a segment was
+// collected. No-op when key-value separation is off.
+func (db *DB) RunValueLogGC() (bool, error) {
+	if db.vlog == nil {
+		return false, nil
+	}
+	return db.vlog.GC(
+		func(key []byte, p vlog.Pointer) bool {
+			value, kind, found, err := db.getInternal(key, kv.MaxSeqNum)
+			if err != nil || !found || kind != kv.KindValuePointer {
+				return false
+			}
+			q, err := vlog.DecodePointer(value)
+			return err == nil && q == p
+		},
+		func(key, value []byte) error {
+			return db.Put(key, value)
+		},
+	)
+}
+
+// LevelInfo summarizes one level for metrics and tooling.
+type LevelInfo struct {
+	Level      int
+	Runs       int
+	Files      int
+	Bytes      uint64
+	Entries    uint64
+	Tombstones uint64
+}
+
+// Levels returns per-level structure info.
+func (db *DB) Levels() []LevelInfo {
+	db.mu.Lock()
+	v := db.current
+	v.ref()
+	db.mu.Unlock()
+	defer v.unref()
+	out := make([]LevelInfo, 0, len(v.levels))
+	for i, level := range v.levels {
+		info := LevelInfo{Level: i, Runs: len(level)}
+		for _, r := range level {
+			info.Files += len(r.tables)
+			for _, t := range r.tables {
+				info.Bytes += t.meta.Size
+				info.Entries += t.meta.Entries
+				info.Tombstones += t.meta.Tombstones
+			}
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+// TotalRuns returns the number of sorted runs across all levels — the
+// quantity a zero-result point lookup probes in the worst case.
+func (db *DB) TotalRuns() int {
+	n := 0
+	for _, li := range db.Levels() {
+		n += li.Runs
+	}
+	return n
+}
+
+// IndexMemory returns resident bytes of pinned per-table structures
+// (fences, filters, learned models) across the current version.
+func (db *DB) IndexMemory() int {
+	db.mu.Lock()
+	v := db.current
+	v.ref()
+	db.mu.Unlock()
+	defer v.unref()
+	total := 0
+	for _, level := range v.levels {
+		for _, r := range level {
+			for _, t := range r.tables {
+				total += t.reader.ApproxIndexMemory()
+			}
+		}
+	}
+	return total
+}
+
+// DebugString renders the tree shape for logs and the CLI.
+func (db *DB) DebugString() string {
+	var b strings.Builder
+	for _, li := range db.Levels() {
+		if li.Runs == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "L%d: %d runs, %d files, %.2f MiB\n",
+			li.Level, li.Runs, li.Files, float64(li.Bytes)/(1<<20))
+	}
+	if b.Len() == 0 {
+		return "(empty tree)\n"
+	}
+	return b.String()
+}

@@ -1,0 +1,247 @@
+// Package cost implements the analytical cost models the tutorial's
+// Module III builds on: the classic DAM-model I/O costs of leveled,
+// tiered, and lazy-leveled LSM-trees (O'Neil et al.; Dayan & Idreos,
+// Dostoevsky), Monkey's optimal filter-memory allocation, the
+// buffer-vs-filter-vs-cache memory split, workload-aware design
+// navigation across the (T, K, Z) continuum, and Endure-style robust
+// tuning under workload uncertainty.
+//
+// Costs are expressed in expected storage I/Os per operation, the unit
+// every surveyed paper reasons in. N is entries, E bytes/entry, B
+// entries/page, and the tree shape follows the compaction.Shape
+// convention (size ratio T, K runs per inner level, Z at the last level).
+package cost
+
+import (
+	"fmt"
+	"math"
+
+	"lsmkv/internal/filter"
+)
+
+// Workload is an operation mix, as fractions summing to ~1.
+type Workload struct {
+	// Writes is the fraction of inserts/updates/deletes.
+	Writes float64
+	// PointLookups is the fraction of gets on existing keys.
+	PointLookups float64
+	// ZeroLookups is the fraction of gets on absent keys.
+	ZeroLookups float64
+	// RangeLookups is the fraction of range scans.
+	RangeLookups float64
+	// RangeSelectivity is the expected fraction of N returned per scan.
+	RangeSelectivity float64
+}
+
+// Normalize scales the mix to sum to 1.
+func (w Workload) Normalize() Workload {
+	s := w.Writes + w.PointLookups + w.ZeroLookups + w.RangeLookups
+	if s <= 0 {
+		return Workload{Writes: 1}
+	}
+	w.Writes /= s
+	w.PointLookups /= s
+	w.ZeroLookups /= s
+	w.RangeLookups /= s
+	return w
+}
+
+// System fixes the data and hardware parameters of the model.
+type System struct {
+	// N is the number of distinct entries.
+	N float64
+	// EntryBytes is the average entry size.
+	EntryBytes float64
+	// PageBytes is the storage page size (the DAM block).
+	PageBytes float64
+	// BufferBytes is the write buffer capacity.
+	BufferBytes float64
+	// FilterBitsPerKey is the average Bloom budget (0 = no filters).
+	FilterBitsPerKey float64
+	// MonkeyAllocation applies Monkey's optimal per-level allocation
+	// instead of uniform bits/key.
+	MonkeyAllocation bool
+}
+
+// EntriesPerPage returns B.
+func (s System) EntriesPerPage() float64 {
+	if s.EntryBytes <= 0 || s.PageBytes <= 0 {
+		return 1
+	}
+	b := s.PageBytes / s.EntryBytes
+	if b < 1 {
+		return 1
+	}
+	return b
+}
+
+// BufferEntries returns the buffer capacity in entries.
+func (s System) BufferEntries() float64 {
+	if s.EntryBytes <= 0 {
+		return 1
+	}
+	e := s.BufferBytes / s.EntryBytes
+	if e < 1 {
+		return 1
+	}
+	return e
+}
+
+// Design is a point in the LSM design space.
+type Design struct {
+	// T is the size ratio between adjacent levels (>= 2).
+	T int
+	// K is the run budget of inner levels (1..T-1).
+	K int
+	// Z is the run budget of the last level (1..T-1).
+	Z int
+}
+
+func (d Design) String() string {
+	switch {
+	case d.K == 1 && d.Z == 1:
+		return fmt.Sprintf("leveling(T=%d)", d.T)
+	case d.K == d.T-1 && d.Z == d.T-1:
+		return fmt.Sprintf("tiering(T=%d)", d.T)
+	case d.K == d.T-1 && d.Z == 1:
+		return fmt.Sprintf("lazy-leveling(T=%d)", d.T)
+	default:
+		return fmt.Sprintf("hybrid(T=%d,K=%d,Z=%d)", d.T, d.K, d.Z)
+	}
+}
+
+// Levels returns the number of storage levels L = ceil(log_T(N·E/buffer)).
+func (s System) Levels(t int) float64 {
+	if t < 2 {
+		t = 2
+	}
+	ratio := s.N * s.EntryBytes / math.Max(s.BufferBytes, 1)
+	if ratio <= 1 {
+		return 1
+	}
+	return math.Ceil(math.Log(ratio) / math.Log(float64(t)))
+}
+
+// Model evaluates operation costs for a design under a system.
+type Model struct {
+	Sys System
+}
+
+// levelSpecs reconstructs the per-level key counts/run counts implied by
+// the geometry, for filter allocation.
+func (m Model) levelSpecs(d Design) []filter.LevelSpec {
+	L := int(m.Sys.Levels(d.T))
+	bufKeys := m.Sys.BufferEntries()
+	specs := make([]filter.LevelSpec, L)
+	remaining := m.Sys.N
+	size := bufKeys * float64(d.T)
+	for i := 0; i < L; i++ {
+		n := size
+		if i == L-1 || n > remaining {
+			n = remaining
+		}
+		runs := d.K
+		if i == L-1 {
+			runs = d.Z
+		}
+		specs[i] = filter.LevelSpec{Keys: int64(n), Runs: runs}
+		remaining -= n
+		if remaining < 0 {
+			remaining = 0
+		}
+		size *= float64(d.T)
+	}
+	// Drop trailing empty levels (the geometric capacities can overshoot
+	// N before the configured level count runs out).
+	for len(specs) > 1 && specs[len(specs)-1].Keys == 0 {
+		specs = specs[:len(specs)-1]
+	}
+	return specs
+}
+
+// filterFPRs returns the per-level false-positive rates under the
+// system's filter budget and allocation policy.
+func (m Model) filterFPRs(d Design) []float64 {
+	specs := m.levelSpecs(d)
+	out := make([]float64, len(specs))
+	if m.Sys.FilterBitsPerKey <= 0 {
+		for i := range out {
+			out[i] = 1
+		}
+		return out
+	}
+	if m.Sys.MonkeyAllocation {
+		bits := filter.MonkeyAllocation(specs, m.Sys.FilterBitsPerKey*m.Sys.N)
+		for i := range out {
+			out[i] = filter.BloomFPR(bits[i])
+		}
+		return out
+	}
+	p := filter.BloomFPR(m.Sys.FilterBitsPerKey)
+	for i := range out {
+		out[i] = p
+	}
+	return out
+}
+
+// WriteCost returns the amortized I/O cost per insert: each entry is
+// eventually merged K-ish times per inner level and Z-ish times at the
+// last level, divided by the B entries that share each page write
+// (Dostoevsky's cost table).
+func (m Model) WriteCost(d Design) float64 {
+	L := m.Sys.Levels(d.T)
+	B := m.Sys.EntriesPerPage()
+	t := float64(d.T)
+	inner := (L - 1) * (t - 1) / (2 * float64(d.K))
+	last := (t - 1) / (2 * float64(d.Z))
+	return (inner + last) / B
+}
+
+// ZeroLookupCost returns the expected I/Os of a lookup on an absent key:
+// one probe per run whose filter false-positives (Monkey's objective).
+func (m Model) ZeroLookupCost(d Design) float64 {
+	specs := m.levelSpecs(d)
+	fprs := m.filterFPRs(d)
+	var c float64
+	for i, spec := range specs {
+		c += float64(spec.Runs) * fprs[i]
+	}
+	return c
+}
+
+// PointLookupCost returns the expected I/Os of a lookup on an existing
+// key (assumed resident in the last level, the dominant case): one hit at
+// the last level plus false-positive probes above it.
+func (m Model) PointLookupCost(d Design) float64 {
+	specs := m.levelSpecs(d)
+	fprs := m.filterFPRs(d)
+	var c float64
+	for i := 0; i < len(specs)-1; i++ {
+		c += float64(specs[i].Runs) * fprs[i]
+	}
+	// Expected probes within the last level's Z runs until the hit:
+	// (Z+1)/2 on average, at least 1.
+	z := float64(d.Z)
+	c += math.Max(1, (z+1)/2)
+	return c
+}
+
+// RangeLookupCost returns the expected I/Os of a range scan touching
+// selectivity·N entries: one seek per run plus the pages the result
+// spans in the last level(s).
+func (m Model) RangeLookupCost(d Design, selectivity float64) float64 {
+	L := m.Sys.Levels(d.T)
+	B := m.Sys.EntriesPerPage()
+	runs := float64(d.K)*(L-1) + float64(d.Z)
+	seqPages := selectivity * m.Sys.N / B * float64(d.Z)
+	return runs + seqPages
+}
+
+// Cost returns the expected I/Os per operation of the workload.
+func (m Model) Cost(d Design, w Workload) float64 {
+	w = w.Normalize()
+	return w.Writes*m.WriteCost(d) +
+		w.PointLookups*m.PointLookupCost(d) +
+		w.ZeroLookups*m.ZeroLookupCost(d) +
+		w.RangeLookups*m.RangeLookupCost(d, w.RangeSelectivity)
+}

@@ -1,0 +1,230 @@
+package cost
+
+import (
+	"math"
+	"testing"
+)
+
+func testSystem() System {
+	return System{
+		N:                10_000_000,
+		EntryBytes:       128,
+		PageBytes:        4096,
+		BufferBytes:      16 << 20,
+		FilterBitsPerKey: 10,
+	}
+}
+
+func designs(t int) (leveled, tiered, lazy Design) {
+	return Design{T: t, K: 1, Z: 1},
+		Design{T: t, K: t - 1, Z: t - 1},
+		Design{T: t, K: t - 1, Z: 1}
+}
+
+func TestWriteCostOrdering(t *testing.T) {
+	m := Model{Sys: testSystem()}
+	leveled, tiered, lazy := designs(10)
+	if !(m.WriteCost(tiered) < m.WriteCost(lazy) && m.WriteCost(lazy) < m.WriteCost(leveled)) {
+		t.Errorf("write cost ordering violated: tiered=%f lazy=%f leveled=%f",
+			m.WriteCost(tiered), m.WriteCost(lazy), m.WriteCost(leveled))
+	}
+}
+
+func TestLookupCostOrdering(t *testing.T) {
+	m := Model{Sys: testSystem()}
+	leveled, tiered, lazy := designs(10)
+	if !(m.ZeroLookupCost(leveled) <= m.ZeroLookupCost(lazy) &&
+		m.ZeroLookupCost(lazy) <= m.ZeroLookupCost(tiered)) {
+		t.Errorf("zero lookup ordering violated: leveled=%f lazy=%f tiered=%f",
+			m.ZeroLookupCost(leveled), m.ZeroLookupCost(lazy), m.ZeroLookupCost(tiered))
+	}
+	if !(m.PointLookupCost(leveled) <= m.PointLookupCost(tiered)) {
+		t.Errorf("point lookup ordering violated")
+	}
+	// Lazy leveling's signature: point lookups nearly as cheap as
+	// leveling (single last-level run) while writes are nearly as cheap
+	// as tiering.
+	if m.PointLookupCost(lazy) > m.PointLookupCost(leveled)*1.5 {
+		t.Errorf("lazy point lookups too expensive: %f vs leveled %f",
+			m.PointLookupCost(lazy), m.PointLookupCost(leveled))
+	}
+}
+
+func TestFiltersReduceZeroLookupCost(t *testing.T) {
+	sys := testSystem()
+	leveled, _, _ := designs(10)
+	with := Model{Sys: sys}.ZeroLookupCost(leveled)
+	sys.FilterBitsPerKey = 0
+	without := Model{Sys: sys}.ZeroLookupCost(leveled)
+	if with >= without {
+		t.Errorf("filters did not reduce zero-lookup cost: %f vs %f", with, without)
+	}
+	// Without filters, every run is probed.
+	L := testSystem().Levels(10)
+	if math.Abs(without-L) > 1 {
+		t.Errorf("unfiltered zero-lookup cost %f, want ~L=%f", without, L)
+	}
+}
+
+func TestMonkeyImprovesModelCost(t *testing.T) {
+	sysU := testSystem()
+	sysU.FilterBitsPerKey = 5
+	sysM := sysU
+	sysM.MonkeyAllocation = true
+	for _, d := range []Design{{T: 10, K: 1, Z: 1}, {T: 4, K: 3, Z: 3}} {
+		u := Model{Sys: sysU}.ZeroLookupCost(d)
+		mk := Model{Sys: sysM}.ZeroLookupCost(d)
+		if mk > u*1.001 {
+			t.Errorf("%v: monkey cost %f above uniform %f", d, mk, u)
+		}
+	}
+}
+
+func TestRangeCostGrowsWithSelectivity(t *testing.T) {
+	m := Model{Sys: testSystem()}
+	d := Design{T: 10, K: 1, Z: 1}
+	short := m.RangeLookupCost(d, 1e-7)
+	long := m.RangeLookupCost(d, 1e-3)
+	if long <= short {
+		t.Errorf("range cost did not grow with selectivity: %f vs %f", long, short)
+	}
+}
+
+func TestLevelsGeometry(t *testing.T) {
+	sys := testSystem()
+	if l2, l10 := sys.Levels(2), sys.Levels(10); l2 <= l10 {
+		t.Errorf("smaller T must give more levels: T=2->%f T=10->%f", l2, l10)
+	}
+	tiny := System{N: 10, EntryBytes: 10, PageBytes: 4096, BufferBytes: 1 << 20}
+	if l := tiny.Levels(10); l != 1 {
+		t.Errorf("data smaller than buffer must give 1 level, got %f", l)
+	}
+}
+
+func TestNavigateMatchesWorkloadLeaning(t *testing.T) {
+	sys := testSystem()
+	space := CandidateSpace{MinT: 2, MaxT: 12}
+	writeHeavy := Navigate(sys, Workload{Writes: 0.95, PointLookups: 0.05}, space)
+	readHeavy := Navigate(sys, Workload{Writes: 0.05, PointLookups: 0.7, ZeroLookups: 0.25}, space)
+
+	m := Model{Sys: sys}
+	// The write-heavy winner must write cheaper than the read-heavy
+	// winner, and vice versa for reads.
+	if m.WriteCost(writeHeavy.Design) > m.WriteCost(readHeavy.Design) {
+		t.Errorf("write-heavy design %v writes worse than read-heavy %v",
+			writeHeavy.Design, readHeavy.Design)
+	}
+	if m.PointLookupCost(writeHeavy.Design) < m.PointLookupCost(readHeavy.Design) {
+		t.Errorf("read-heavy design %v reads worse than write-heavy %v",
+			readHeavy.Design, writeHeavy.Design)
+	}
+	// Write-heavy should choose a tiered-ish layout (K > 1).
+	if writeHeavy.Design.K == 1 {
+		t.Errorf("write-heavy workload chose %v; expected K>1", writeHeavy.Design)
+	}
+	// Read-heavy should choose a leveled-ish last level.
+	if readHeavy.Design.Z != 1 {
+		t.Errorf("read-heavy workload chose %v; expected Z=1", readHeavy.Design)
+	}
+}
+
+func TestEnumerateFullHybridLarger(t *testing.T) {
+	sys := testSystem()
+	w := Workload{Writes: 0.5, PointLookups: 0.5}
+	canon := Enumerate(sys, w, CandidateSpace{MinT: 2, MaxT: 8})
+	hybrid := Enumerate(sys, w, CandidateSpace{MinT: 2, MaxT: 8, FullHybrid: true})
+	if len(hybrid) <= len(canon) {
+		t.Errorf("full hybrid space (%d) not larger than canonical (%d)", len(hybrid), len(canon))
+	}
+	// The hybrid winner is never worse than the canonical winner.
+	best := func(cs []Candidate) float64 {
+		b := math.Inf(1)
+		for _, c := range cs {
+			if c.Cost < b {
+				b = c.Cost
+			}
+		}
+		return b
+	}
+	if best(hybrid) > best(canon)+1e-12 {
+		t.Errorf("hybrid best %f worse than canonical best %f", best(hybrid), best(canon))
+	}
+}
+
+func TestBufferFilterCurveHasInteriorOptimum(t *testing.T) {
+	sys := testSystem()
+	w := Workload{Writes: 0.5, ZeroLookups: 0.5}
+	curve := BufferFilterCurve(sys, Design{T: 10, K: 1, Z: 1}, w, 64<<20, 32)
+	bestIdx, bestCost := -1, math.Inf(1)
+	for i, p := range curve {
+		if p[1] < bestCost {
+			bestCost = p[1]
+			bestIdx = i
+		}
+	}
+	if bestIdx <= 0 || bestIdx >= len(curve)-1 {
+		t.Errorf("optimum at boundary (idx %d of %d): the buffer/filter split should have an interior optimum",
+			bestIdx, len(curve))
+	}
+}
+
+func TestOptimizeSplitUsesCacheForSkewedReads(t *testing.T) {
+	sys := testSystem()
+	w := Workload{PointLookups: 0.9, Writes: 0.1}
+	working := sys.N * sys.EntryBytes
+	split, _ := OptimizeSplit(sys, Design{T: 10, K: 1, Z: 1}, w, 256<<20, working, 0.9)
+	if split.CacheBytes <= 0 {
+		t.Errorf("highly skewed read workload should allocate cache, got %+v", split)
+	}
+}
+
+func TestTuneRobustTradeoff(t *testing.T) {
+	sys := testSystem()
+	expected := Workload{Writes: 0.9, PointLookups: 0.1}
+	r := TuneRobust(sys, expected, 0.6, CandidateSpace{MinT: 2, MaxT: 12})
+	// The robust design's worst case must not exceed the nominal
+	// design's worst case (that is its definition).
+	if r.RobustWorst > r.NominalWorst+1e-12 {
+		t.Errorf("robust worst %f exceeds nominal worst %f", r.RobustWorst, r.NominalWorst)
+	}
+	// The nominal design is at least as good at the expected workload.
+	if r.NominalAtExpected > r.RobustAtExpected+1e-12 {
+		t.Errorf("nominal at expected %f worse than robust %f", r.NominalAtExpected, r.RobustAtExpected)
+	}
+	// With real uncertainty and a skewed expectation, robustness should
+	// actually change the pick and buy a strictly better worst case.
+	if r.Nominal.Design == r.Robust.Design {
+		t.Logf("note: nominal and robust coincide: %v", r.Nominal.Design)
+	} else if r.RobustWorst >= r.NominalWorst {
+		t.Errorf("robust pick %v does not improve worst case over %v",
+			r.Robust.Design, r.Nominal.Design)
+	}
+}
+
+func TestWorkloadNeighborhood(t *testing.T) {
+	w := Workload{Writes: 0.5, PointLookups: 0.5}
+	hood := WorkloadNeighborhood(w, 0.4, 16)
+	if len(hood) < 3 {
+		t.Fatalf("neighborhood too small: %d", len(hood))
+	}
+	for i, x := range hood {
+		sum := x.Writes + x.PointLookups + x.ZeroLookups + x.RangeLookups
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("neighbor %d not normalized: sum=%f", i, sum)
+		}
+		if x.Writes < 0 || x.PointLookups < 0 || x.ZeroLookups < 0 || x.RangeLookups < 0 {
+			t.Errorf("neighbor %d has negative mass: %+v", i, x)
+		}
+	}
+	// Zero radius returns only the expected workload.
+	if got := WorkloadNeighborhood(w, 0, 16); len(got) != 1 {
+		t.Errorf("zero radius neighborhood size %d", len(got))
+	}
+}
+
+func TestNormalizeDegenerate(t *testing.T) {
+	w := Workload{}.Normalize()
+	if w.Writes != 1 {
+		t.Errorf("empty workload should normalize to all-writes: %+v", w)
+	}
+}

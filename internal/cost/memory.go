@@ -1,0 +1,100 @@
+package cost
+
+import "math"
+
+// Memory-allocation models (tutorial Module II-v): a fixed memory budget
+// must be split between the write buffer, the Bloom filters, and the
+// block cache. Monkey showed the buffer/filter split has an interior
+// optimum; Luo & Carey extended the reasoning to the cache.
+
+// MemorySplit is one division of the memory budget.
+type MemorySplit struct {
+	BufferBytes float64
+	FilterBytes float64
+	CacheBytes  float64
+}
+
+// SplitCost evaluates the workload cost of a system whose memory is
+// divided per split, holding everything else in sys fixed. The cache is
+// modeled with the standard concave hit-rate approximation: a cache of c
+// bytes over a working set of W bytes with Zipf-skew theta captures
+// roughly (c/W)^(1-theta) of accesses.
+func SplitCost(sys System, d Design, w Workload, split MemorySplit, workingSetBytes, zipfTheta float64) float64 {
+	s := sys
+	s.BufferBytes = math.Max(split.BufferBytes, 4096)
+	if s.N > 0 {
+		s.FilterBitsPerKey = split.FilterBytes * 8 / s.N
+	}
+	m := Model{Sys: s}
+	base := m.Cost(d, w)
+	if split.CacheBytes <= 0 || workingSetBytes <= 0 {
+		return base
+	}
+	frac := split.CacheBytes / workingSetBytes
+	if frac > 1 {
+		frac = 1
+	}
+	hit := math.Pow(frac, 1-clamp01(zipfTheta))
+	// The cache absorbs that fraction of read I/Os.
+	readShare := w.PointLookups + w.ZeroLookups + w.RangeLookups
+	w2 := w.Normalize()
+	readCost := w2.PointLookups*m.PointLookupCost(d) +
+		w2.ZeroLookups*m.ZeroLookupCost(d) +
+		w2.RangeLookups*m.RangeLookupCost(d, w2.RangeSelectivity)
+	_ = readShare
+	return base - hit*readCost
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 0.99 {
+		return 0.99
+	}
+	return x
+}
+
+// OptimizeSplit sweeps buffer/filter/cache fractions on a grid and
+// returns the best split for the workload. Total memory is in bytes.
+func OptimizeSplit(sys System, d Design, w Workload, totalBytes, workingSetBytes, zipfTheta float64) (MemorySplit, float64) {
+	best := MemorySplit{BufferBytes: totalBytes}
+	bestCost := math.Inf(1)
+	const steps = 20
+	for bi := 1; bi < steps; bi++ {
+		for fi := 0; fi < steps-bi; fi++ {
+			ci := steps - bi - fi
+			split := MemorySplit{
+				BufferBytes: totalBytes * float64(bi) / steps,
+				FilterBytes: totalBytes * float64(fi) / steps,
+				CacheBytes:  totalBytes * float64(ci) / steps,
+			}
+			c := SplitCost(sys, d, w, split, workingSetBytes, zipfTheta)
+			if c < bestCost {
+				bestCost = c
+				best = split
+			}
+		}
+	}
+	return best, bestCost
+}
+
+// BufferFilterCurve evaluates the cost along the buffer-vs-filter line
+// (no cache), the curve Monkey plots: x = fraction of memory to the
+// buffer, returning (fraction, cost) pairs.
+func BufferFilterCurve(sys System, d Design, w Workload, totalBytes float64, points int) [][2]float64 {
+	if points < 2 {
+		points = 2
+	}
+	out := make([][2]float64, 0, points)
+	for i := 1; i < points; i++ {
+		frac := float64(i) / float64(points)
+		split := MemorySplit{
+			BufferBytes: totalBytes * frac,
+			FilterBytes: totalBytes * (1 - frac),
+		}
+		c := SplitCost(sys, d, w, split, 0, 0)
+		out = append(out, [2]float64{frac, c})
+	}
+	return out
+}

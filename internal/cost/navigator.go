@@ -1,0 +1,74 @@
+package cost
+
+import "math"
+
+// Navigator searches the (T, K, Z) design continuum for the cheapest
+// design under a workload — the "navigating the LSM design space" of
+// Module III-i (Dostoevsky's hybrid continuum; the LSM-bush/Wacky
+// direction of per-level run budgets is represented by its K, Z
+// endpoints).
+
+// CandidateSpace bounds the search grid.
+type CandidateSpace struct {
+	// MinT and MaxT bound the size ratio. Defaults 2 and 16.
+	MinT, MaxT int
+	// FullHybrid, when true, searches every (K, Z) pair; otherwise only
+	// the three canonical layouts per T (leveling, tiering, lazy).
+	FullHybrid bool
+}
+
+func (c *CandidateSpace) defaults() {
+	if c.MinT < 2 {
+		c.MinT = 2
+	}
+	if c.MaxT < c.MinT {
+		c.MaxT = 16
+	}
+}
+
+// Candidate pairs a design with its modeled cost.
+type Candidate struct {
+	Design Design
+	Cost   float64
+}
+
+// Enumerate lists every candidate design with its cost, cheapest first
+// being up to the caller to sort; the slice is in grid order.
+func Enumerate(sys System, w Workload, space CandidateSpace) []Candidate {
+	space.defaults()
+	m := Model{Sys: sys}
+	var out []Candidate
+	for t := space.MinT; t <= space.MaxT; t++ {
+		if space.FullHybrid {
+			for k := 1; k <= t-1; k++ {
+				for _, z := range []int{1, t - 1} {
+					// Z between 1 and T-1 interpolates; the endpoints
+					// bound the interesting behavior, and the full sweep
+					// of K already exposes the continuum.
+					d := Design{T: t, K: k, Z: z}
+					out = append(out, Candidate{Design: d, Cost: m.Cost(d, w)})
+				}
+			}
+			continue
+		}
+		for _, d := range []Design{
+			{T: t, K: 1, Z: 1},
+			{T: t, K: t - 1, Z: t - 1},
+			{T: t, K: t - 1, Z: 1},
+		} {
+			out = append(out, Candidate{Design: d, Cost: m.Cost(d, w)})
+		}
+	}
+	return out
+}
+
+// Navigate returns the cheapest design for the workload.
+func Navigate(sys System, w Workload, space CandidateSpace) Candidate {
+	best := Candidate{Cost: math.Inf(1)}
+	for _, c := range Enumerate(sys, w, space) {
+		if c.Cost < best.Cost {
+			best = c
+		}
+	}
+	return best
+}

@@ -1,0 +1,103 @@
+package cost
+
+import "math"
+
+// Robust tuning (Endure, Huynh et al., VLDB'22): instead of tuning for
+// one expected workload, minimize the worst-case cost over a neighborhood
+// of workloads around it — trading a little nominal performance for much
+// better behavior when the observed workload drifts from the expectation.
+//
+// The neighborhood here is the set of workloads whose operation-mix
+// differs from the expected one by at most rho in L1 distance (mass moved
+// between operation types), a simplification of Endure's KL-divergence
+// ball that preserves the experiment's shape.
+
+// WorkloadNeighborhood enumerates mixes within L1 distance rho of w,
+// sampling `samples` deterministic corner-leaning points. The expected
+// workload itself is always included.
+func WorkloadNeighborhood(w Workload, rho float64, samples int) []Workload {
+	w = w.Normalize()
+	out := []Workload{w}
+	if rho <= 0 || samples <= 0 {
+		return out
+	}
+	dims := []func(*Workload) *float64{
+		func(x *Workload) *float64 { return &x.Writes },
+		func(x *Workload) *float64 { return &x.PointLookups },
+		func(x *Workload) *float64 { return &x.ZeroLookups },
+		func(x *Workload) *float64 { return &x.RangeLookups },
+	}
+	// Move rho/2 of mass from dimension i to dimension j, for every
+	// ordered pair — the extreme points of the L1 ball intersected with
+	// the simplex.
+	for i := range dims {
+		for j := range dims {
+			if i == j {
+				continue
+			}
+			x := w
+			from := dims[i](&x)
+			to := dims[j](&x)
+			move := math.Min(rho/2, *from)
+			*from -= move
+			*to += move
+			out = append(out, x.Normalize())
+			if len(out) >= samples+1 {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+// RobustTuning holds the outcome of a nominal-vs-robust comparison.
+type RobustTuning struct {
+	// Nominal is the design minimizing cost at the expected workload.
+	Nominal Candidate
+	// Robust is the design minimizing the worst case over the
+	// neighborhood.
+	Robust Candidate
+	// NominalWorst is the nominal design's worst cost over the
+	// neighborhood (what you risk by tuning to the expectation).
+	NominalWorst float64
+	// RobustWorst is the robust design's worst cost (its guarantee).
+	RobustWorst float64
+	// NominalAtExpected and RobustAtExpected are both designs' costs at
+	// the expected workload (what robustness costs you when the forecast
+	// was right).
+	NominalAtExpected float64
+	RobustAtExpected  float64
+}
+
+// TuneRobust computes the nominal and robust designs for an expected
+// workload and an uncertainty radius rho.
+func TuneRobust(sys System, expected Workload, rho float64, space CandidateSpace) RobustTuning {
+	m := Model{Sys: sys}
+	neighborhood := WorkloadNeighborhood(expected, rho, 16)
+
+	worstOf := func(d Design) float64 {
+		worst := 0.0
+		for _, w := range neighborhood {
+			if c := m.Cost(d, w); c > worst {
+				worst = c
+			}
+		}
+		return worst
+	}
+
+	nominal := Navigate(sys, expected, space)
+	robust := Candidate{Cost: math.Inf(1)}
+	for _, c := range Enumerate(sys, expected, space) {
+		if w := worstOf(c.Design); w < robust.Cost {
+			robust = Candidate{Design: c.Design, Cost: w}
+		}
+	}
+	return RobustTuning{
+		Nominal:           nominal,
+		Robust:            Candidate{Design: robust.Design, Cost: m.Cost(robust.Design, expected)},
+		NominalWorst:      worstOf(nominal.Design),
+		RobustWorst:       robust.Cost,
+		NominalAtExpected: nominal.Cost,
+		RobustAtExpected:  m.Cost(robust.Design, expected),
+	}
+}

@@ -1,0 +1,138 @@
+package fence
+
+import "encoding/binary"
+
+// Data-block hash index (Wu, RocksDB blog 2018): a small open-addressed
+// byte table appended to a data block that maps hash(userKey) to the
+// restart-point ordinal holding the key, replacing the in-block restart
+// binary search (and its key comparisons and cache misses) with one bucket
+// probe for point lookups.
+//
+// Each bucket holds a restart ordinal (0..253), 254 for "collision — fall
+// back to binary search", or 255 for empty.
+
+const (
+	hashIndexCollision = 254
+	hashIndexEmpty     = 255
+	// HashIndexUtil is the target load factor of the bucket table.
+	HashIndexUtil = 0.75
+	// MaxHashIndexRestarts is the largest restart count a hash index can
+	// address; blocks with more restarts skip the index.
+	MaxHashIndexRestarts = 253
+)
+
+// HashIndexBuilder collects (key, restart ordinal) pairs for one block.
+type HashIndexBuilder struct {
+	hashes   []uint32
+	restarts []uint8
+}
+
+// Add records that userKey resides in the restart interval with the given
+// ordinal.
+func (b *HashIndexBuilder) Add(userKey []byte, restart int) {
+	if restart > MaxHashIndexRestarts {
+		return
+	}
+	b.hashes = append(b.hashes, hashIndexHash(userKey))
+	b.restarts = append(b.restarts, uint8(restart))
+}
+
+// Reset clears the builder for the next block.
+func (b *HashIndexBuilder) Reset() {
+	b.hashes = b.hashes[:0]
+	b.restarts = b.restarts[:0]
+}
+
+// Encode appends the bucket table: ceil(n/util) buckets followed by a
+// uint16 bucket count. It returns dst unchanged when the builder is empty.
+func (b *HashIndexBuilder) Encode(dst []byte) []byte {
+	if len(b.hashes) == 0 {
+		return dst
+	}
+	nbuckets := int(float64(len(b.hashes))/HashIndexUtil) + 1
+	if nbuckets > 0xffff {
+		return dst
+	}
+	table := make([]byte, nbuckets)
+	for i := range table {
+		table[i] = hashIndexEmpty
+	}
+	for i, h := range b.hashes {
+		slot := int(h) % nbuckets
+		switch table[slot] {
+		case hashIndexEmpty:
+			table[slot] = b.restarts[i]
+		case b.restarts[i]:
+			// Same restart interval: keep it.
+		default:
+			table[slot] = hashIndexCollision
+		}
+	}
+	dst = append(dst, table...)
+	return binary.LittleEndian.AppendUint16(dst, uint16(nbuckets))
+}
+
+// HashIndex is the probe-side view over an encoded bucket table.
+type HashIndex struct {
+	table []byte
+}
+
+// ParseHashIndex splits data into the preceding payload and the hash
+// index, where data ends with the encoded table. size is the number of
+// trailing bytes the index occupies (0 if absent given nbuckets==0).
+func ParseHashIndex(data []byte) (idx HashIndex, payloadLen int, ok bool) {
+	if len(data) < 2 {
+		return HashIndex{}, 0, false
+	}
+	nbuckets := int(binary.LittleEndian.Uint16(data[len(data)-2:]))
+	if nbuckets == 0 || len(data)-2 < nbuckets {
+		return HashIndex{}, 0, false
+	}
+	start := len(data) - 2 - nbuckets
+	return HashIndex{table: data[start : len(data)-2]}, start, true
+}
+
+// LookupResult describes a hash index probe outcome.
+type LookupResult int
+
+const (
+	// LookupMiss means the key is definitely not in the block.
+	LookupMiss LookupResult = iota
+	// LookupHit means the key, if present, lies in the returned restart
+	// interval.
+	LookupHit
+	// LookupFallback means the bucket collided; use binary search.
+	LookupFallback
+)
+
+// Lookup probes the table for userKey.
+func (x HashIndex) Lookup(userKey []byte) (restart int, res LookupResult) {
+	if len(x.table) == 0 {
+		return 0, LookupFallback
+	}
+	slot := int(hashIndexHash(userKey)) % len(x.table)
+	switch v := x.table[slot]; v {
+	case hashIndexEmpty:
+		return 0, LookupMiss
+	case hashIndexCollision:
+		return 0, LookupFallback
+	default:
+		return int(v), LookupHit
+	}
+}
+
+// hashIndexHash is a small FNV-1a over the key, independent from the
+// filter-package hashing so filter and block-index false positives do not
+// correlate.
+func hashIndexHash(key []byte) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for _, c := range key {
+		h ^= uint32(c)
+		h *= prime32
+	}
+	return h
+}

@@ -1,0 +1,191 @@
+package filter
+
+import "sync/atomic"
+
+// ElasticBF-style filters (Li et al., ATC'19; Modular filters, Mun et al.,
+// ADMS'22): instead of one monolithic Bloom filter per run, build several
+// small independent filter *units*. A membership probe consults only the
+// units currently enabled; hot runs enable more units (lower FPR, more
+// memory traffic/footprint), cold runs fewer. Because a key must pass every
+// enabled unit, enabling u units each with b/u bits per key yields the same
+// FPR curve as a monolithic filter with (u_enabled/u_total)·b bits per key.
+
+// ElasticBuilder builds the unit set for one run.
+type ElasticBuilder struct {
+	units []Builder
+}
+
+// NewElasticBuilder creates a builder with `units` independent Bloom units
+// sharing bitsPerKey of total budget.
+func NewElasticBuilder(units int, bitsPerKey float64) *ElasticBuilder {
+	if units < 1 {
+		units = 1
+	}
+	b := &ElasticBuilder{}
+	per := bitsPerKey / float64(units)
+	for i := 0; i < units; i++ {
+		b.units = append(b.units, newBloomBuilder(per))
+	}
+	return b
+}
+
+// AddHash inserts a key into every unit, re-seeding the digest per unit so
+// units are independent.
+func (b *ElasticBuilder) AddHash(kh KeyHash) {
+	for i, u := range b.units {
+		u.AddHash(reseed(kh, uint64(i)))
+	}
+}
+
+// Finish serializes every unit separately.
+func (b *ElasticBuilder) Finish() ([][]byte, error) {
+	out := make([][]byte, len(b.units))
+	for i, u := range b.units {
+		d, err := u.Finish()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = d
+	}
+	return out, nil
+}
+
+// reseed derives an independent per-unit digest from the shared one.
+func reseed(kh KeyHash, unit uint64) KeyHash {
+	h1 := mix64(kh.H1 ^ (unit+1)*0x9e3779b97f4a7c15)
+	h2 := mix64(h1 ^ kh.H2)
+	if h2 == 0 {
+		h2 = prime3
+	}
+	return KeyHash{H1: h1, H2: h2}
+}
+
+// Elastic is the probe-side view of a unit filter set with an adjustable
+// number of enabled units. It tracks access frequency so a Manager can
+// rebalance memory across runs.
+type Elastic struct {
+	units    []Reader
+	enabled  atomic.Int32
+	accesses atomic.Int64
+	unitMem  int
+}
+
+// NewElastic decodes the serialized units. Initially all units are enabled.
+func NewElastic(serialized [][]byte) (*Elastic, error) {
+	e := &Elastic{}
+	for _, d := range serialized {
+		r, err := NewReader(d)
+		if err != nil {
+			return nil, err
+		}
+		e.units = append(e.units, r)
+		e.unitMem += r.ApproxMemory()
+	}
+	if len(e.units) > 0 {
+		e.unitMem /= len(e.units)
+	}
+	e.enabled.Store(int32(len(e.units)))
+	return e, nil
+}
+
+// MayContainHash consults the enabled units only.
+func (e *Elastic) MayContainHash(kh KeyHash) bool {
+	e.accesses.Add(1)
+	n := int(e.enabled.Load())
+	for i := 0; i < n && i < len(e.units); i++ {
+		if !e.units[i].MayContainHash(reseed(kh, uint64(i))) {
+			return false
+		}
+	}
+	return true
+}
+
+// SetEnabled adjusts how many units participate in probes, clamped to
+// [0, total units].
+func (e *Elastic) SetEnabled(n int) {
+	if n < 0 {
+		n = 0
+	}
+	if n > len(e.units) {
+		n = len(e.units)
+	}
+	e.enabled.Store(int32(n))
+}
+
+// Enabled returns the number of active units.
+func (e *Elastic) Enabled() int { return int(e.enabled.Load()) }
+
+// Units returns the total number of units.
+func (e *Elastic) Units() int { return len(e.units) }
+
+// Accesses returns and resets the access counter since the last call.
+func (e *Elastic) Accesses() int64 { return e.accesses.Swap(0) }
+
+// EnabledMemory returns the resident bytes of the enabled units.
+func (e *Elastic) EnabledMemory() int { return e.Enabled() * e.unitMem }
+
+// FPR estimates the false-positive rate at the current enabled count,
+// assuming each unit is an independent Bloom unit with equal budget.
+func (e *Elastic) FPR(bitsPerKeyTotal float64) float64 {
+	if len(e.units) == 0 {
+		return 1
+	}
+	per := bitsPerKeyTotal / float64(len(e.units))
+	fpr := 1.0
+	for i := 0; i < e.Enabled(); i++ {
+		fpr *= BloomFPR(per)
+	}
+	return fpr
+}
+
+// RebalanceElastic implements the hotness-aware unit allocation: given the
+// per-run access frequencies observed in the last window and a global
+// memory budget expressed in enabled units, enable units greedily where
+// the marginal reduction in expected false positives is largest. It
+// returns the enabled-unit count chosen for each run, aligned with runs.
+func RebalanceElastic(runs []*Elastic, freq []int64, budgetUnits int, unitFPRStep float64) []int {
+	type cand struct {
+		run  int
+		gain float64
+	}
+	counts := make([]int, len(runs))
+	var heap []cand
+	push := func(run int, nEnabled int) {
+		if nEnabled >= runs[run].Units() {
+			return
+		}
+		// Expected false positives avoided by enabling one more unit:
+		// freq · fpr(n) · (1 - step) where fpr(n) = step^n.
+		f := float64(freq[run])
+		fpr := pow(unitFPRStep, nEnabled)
+		heap = append(heap, cand{run: run, gain: f * fpr * (1 - unitFPRStep)})
+	}
+	for i := range runs {
+		push(i, 0)
+	}
+	for spent := 0; spent < budgetUnits && len(heap) > 0; spent++ {
+		// Linear scan max; run counts are small (one per sorted run).
+		best := 0
+		for i := 1; i < len(heap); i++ {
+			if heap[i].gain > heap[best].gain {
+				best = i
+			}
+		}
+		c := heap[best]
+		heap = append(heap[:best], heap[best+1:]...)
+		counts[c.run]++
+		push(c.run, counts[c.run])
+	}
+	for i, r := range runs {
+		r.SetEnabled(counts[i])
+	}
+	return counts
+}
+
+func pow(x float64, n int) float64 {
+	p := 1.0
+	for i := 0; i < n; i++ {
+		p *= x
+	}
+	return p
+}

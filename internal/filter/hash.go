@@ -1,0 +1,127 @@
+// Package filter implements the approximate-membership (AMQ) structures the
+// tutorial surveys for the LSM point-lookup path: standard and
+// register-blocked Bloom filters, cuckoo filters, ribbon filters, the Monkey
+// memory allocation across levels, and hotness-aware elastic filter units.
+//
+// All filters hash keys through the same 128-bit key digest (KeyHash) so
+// that one hash computation can be shared across every filter probed during
+// a multi-level lookup — the shared-hash-calculation optimization of
+// Zhu et al. (DAMON'21) that experiment E12 measures.
+package filter
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+// xxhash64 constants.
+const (
+	prime1 uint64 = 11400714785074694791
+	prime2 uint64 = 14029467366897019727
+	prime3 uint64 = 1609587929392839161
+	prime4 uint64 = 9650029242287828579
+	prime5 uint64 = 2870177450012600261
+)
+
+// Hash64 computes the XXH64 digest of b with the given seed. It is the
+// single hash primitive used by every filter in the package.
+func Hash64(b []byte, seed uint64) uint64 {
+	n := len(b)
+	var h uint64
+	if n >= 32 {
+		v1 := seed + prime1 + prime2
+		v2 := seed + prime2
+		v3 := seed
+		v4 := seed - prime1
+		for len(b) >= 32 {
+			v1 = round(v1, binary.LittleEndian.Uint64(b[0:8]))
+			v2 = round(v2, binary.LittleEndian.Uint64(b[8:16]))
+			v3 = round(v3, binary.LittleEndian.Uint64(b[16:24]))
+			v4 = round(v4, binary.LittleEndian.Uint64(b[24:32]))
+			b = b[32:]
+		}
+		h = bits.RotateLeft64(v1, 1) + bits.RotateLeft64(v2, 7) +
+			bits.RotateLeft64(v3, 12) + bits.RotateLeft64(v4, 18)
+		h = mergeRound(h, v1)
+		h = mergeRound(h, v2)
+		h = mergeRound(h, v3)
+		h = mergeRound(h, v4)
+	} else {
+		h = seed + prime5
+	}
+	h += uint64(n)
+	for len(b) >= 8 {
+		h ^= round(0, binary.LittleEndian.Uint64(b[:8]))
+		h = bits.RotateLeft64(h, 27)*prime1 + prime4
+		b = b[8:]
+	}
+	if len(b) >= 4 {
+		h ^= uint64(binary.LittleEndian.Uint32(b[:4])) * prime1
+		h = bits.RotateLeft64(h, 23)*prime2 + prime3
+		b = b[4:]
+	}
+	for _, c := range b {
+		h ^= uint64(c) * prime5
+		h = bits.RotateLeft64(h, 11) * prime1
+	}
+	h ^= h >> 33
+	h *= prime2
+	h ^= h >> 29
+	h *= prime3
+	h ^= h >> 32
+	return h
+}
+
+func round(acc, input uint64) uint64 {
+	acc += input * prime2
+	acc = bits.RotateLeft64(acc, 31)
+	return acc * prime1
+}
+
+func mergeRound(acc, val uint64) uint64 {
+	acc ^= round(0, val)
+	return acc*prime1 + prime4
+}
+
+// KeyHash is a 128-bit digest of a user key. Computing it once per lookup
+// and reusing it across every filter probe (one per sorted run) removes the
+// per-run hashing cost from the point-query path.
+type KeyHash struct {
+	H1, H2 uint64
+}
+
+// HashKey digests a user key into a KeyHash.
+func HashKey(key []byte) KeyHash {
+	h1 := Hash64(key, 0)
+	// Derive the second word from the first by remixing rather than
+	// rehashing the key, keeping the shared path a single pass over the key
+	// bytes.
+	h2 := mix64(h1 ^ 0x9e3779b97f4a7c15)
+	if h2 == 0 {
+		h2 = prime3 // probe stride must be non-zero
+	}
+	return KeyHash{H1: h1, H2: h2}
+}
+
+// Probe returns the i-th derived probe value using enhanced double hashing,
+// which avoids the probe-correlation artifacts of plain double hashing.
+func (kh KeyHash) Probe(i uint32) uint64 {
+	return kh.H1 + uint64(i)*kh.H2 + (uint64(i)*uint64(i)*uint64(i)-uint64(i))/6
+}
+
+// mix64 is the splitmix64 finalizer, a cheap full-avalanche 64-bit mixer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// reduce maps a 64-bit hash uniformly onto [0, n) without the modulo bias
+// or cost of %: the "fast range reduction" of Lemire.
+func reduce(h uint64, n uint64) uint64 {
+	hi, _ := bits.Mul64(h, n)
+	return hi
+}

@@ -1,0 +1,168 @@
+package filter
+
+import "math"
+
+// Monkey (Dayan, Athanassoulis, Idreos, SIGMOD'17) memory allocation: given
+// a fixed total filter-memory budget, distribute bits across the tree's
+// levels so the *sum* of expected false-positive probes is minimized,
+// instead of giving every level the same bits/key as production engines do.
+//
+// Formally, minimize  Σ_i  w_i · p_i   subject to  Σ_i n_i · bits(p_i) = M,
+// where n_i is the key count of level i, w_i the number of runs in level i
+// (each run has its own filter, each false positive costs one probe), and
+// bits(p) = -ln(p)/ln²2 the standard Bloom space/FPR relation. The
+// Lagrangian optimum is p_i = min(1, λ·n_i/w_i): false-positive rates are
+// proportional to level size, so the huge last level gets a *higher* FPR
+// and the small hot levels get vanishingly small ones.
+
+// LevelSpec describes one level of the tree for allocation purposes.
+type LevelSpec struct {
+	// Keys is the number of entries resident in the level.
+	Keys int64
+	// Runs is the number of sorted runs (1 under leveling, up to T-1 under
+	// tiering). Zero is treated as 1.
+	Runs int
+}
+
+func (l LevelSpec) runs() float64 {
+	if l.Runs <= 0 {
+		return 1
+	}
+	return float64(l.Runs)
+}
+
+const ln2sq = math.Ln2 * math.Ln2
+
+// MonkeyAllocation returns optimal bits-per-key for each level given a
+// total budget of totalBits across all filters. Levels whose optimal FPR
+// reaches 1 receive zero bits (no filter). The returned slice is aligned
+// with levels.
+func MonkeyAllocation(levels []LevelSpec, totalBits float64) []float64 {
+	out := make([]float64, len(levels))
+	if totalBits <= 0 || len(levels) == 0 {
+		return out
+	}
+	var totalKeys float64
+	for _, l := range levels {
+		totalKeys += float64(l.Keys)
+	}
+	if totalKeys == 0 {
+		return out
+	}
+	// memoryAt computes the bits consumed if p_i = min(1, lambda*n_i/w_i).
+	memoryAt := func(lambda float64) float64 {
+		var m float64
+		for _, l := range levels {
+			if l.Keys == 0 {
+				continue
+			}
+			p := lambda * float64(l.Keys) / l.runs()
+			if p >= 1 {
+				continue
+			}
+			m += float64(l.Keys) * (-math.Log(p) / ln2sq)
+		}
+		return m
+	}
+	// Memory is strictly decreasing in lambda; bisect lambda until the
+	// budget is met.
+	lo, hi := 1e-30, 1.0
+	for memoryAt(lo) < totalBits {
+		lo /= 2
+		if lo < 1e-300 {
+			break
+		}
+	}
+	for iter := 0; iter < 200; iter++ {
+		mid := math.Sqrt(lo * hi) // geometric bisection: lambda spans decades
+		if memoryAt(mid) > totalBits {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	lambda := hi
+	for i, l := range levels {
+		if l.Keys == 0 {
+			continue
+		}
+		p := lambda * float64(l.Keys) / l.runs()
+		if p >= 1 {
+			out[i] = 0
+			continue
+		}
+		out[i] = -math.Log(p) / ln2sq
+	}
+	return out
+}
+
+// UniformAllocation returns the production-default allocation: the same
+// bits/key everywhere, consuming the same total budget.
+func UniformAllocation(levels []LevelSpec, totalBits float64) []float64 {
+	out := make([]float64, len(levels))
+	var totalKeys float64
+	for _, l := range levels {
+		totalKeys += float64(l.Keys)
+	}
+	if totalKeys == 0 {
+		return out
+	}
+	b := totalBits / totalKeys
+	for i := range out {
+		out[i] = b
+	}
+	return out
+}
+
+// ExpectedFalseProbes returns the cost-model objective Σ w_i·p_i for a
+// given allocation: the expected number of superfluous run probes a
+// zero-result point lookup performs.
+func ExpectedFalseProbes(levels []LevelSpec, bitsPerKey []float64) float64 {
+	var sum float64
+	for i, l := range levels {
+		if l.Keys == 0 {
+			continue
+		}
+		var p float64
+		if i < len(bitsPerKey) {
+			p = BloomFPR(bitsPerKey[i])
+		} else {
+			p = 1
+		}
+		sum += l.runs() * p
+	}
+	return sum
+}
+
+// GeometricLevels constructs the level specs of an LSM-tree with the given
+// total key count, size ratio T, and runs-per-level (1 for leveling, T-1
+// for tiering). Level sizes grow by T from the first storage level; the
+// last level holds the remainder.
+func GeometricLevels(totalKeys int64, bufferKeys int64, sizeRatio int, runsPerLevel int) []LevelSpec {
+	if sizeRatio < 2 {
+		sizeRatio = 2
+	}
+	if bufferKeys < 1 {
+		bufferKeys = 1
+	}
+	var levels []LevelSpec
+	remaining := totalKeys
+	cap := bufferKeys * int64(sizeRatio)
+	for remaining > 0 {
+		n := cap
+		if n > remaining {
+			n = remaining
+		}
+		levels = append(levels, LevelSpec{Keys: n, Runs: runsPerLevel})
+		remaining -= n
+		if cap > (1<<62)/int64(sizeRatio) {
+			// Overflow guard: dump the rest into one final level.
+			if remaining > 0 {
+				levels = append(levels, LevelSpec{Keys: remaining, Runs: runsPerLevel})
+			}
+			break
+		}
+		cap *= int64(sizeRatio)
+	}
+	return levels
+}

@@ -1,0 +1,39 @@
+package kv
+
+import "encoding/binary"
+
+// AppendUvarint appends x in unsigned varint form.
+func AppendUvarint(dst []byte, x uint64) []byte {
+	return binary.AppendUvarint(dst, x)
+}
+
+// AppendLengthPrefixed appends a uvarint length followed by the bytes.
+func AppendLengthPrefixed(dst, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// DecodeLengthPrefixed reads a length-prefixed byte string from data,
+// returning the string (aliasing data) and the remainder. ok is false when
+// data is truncated.
+func DecodeLengthPrefixed(data []byte) (b, rest []byte, ok bool) {
+	n, w := binary.Uvarint(data)
+	if w <= 0 || uint64(len(data)-w) < n {
+		return nil, nil, false
+	}
+	return data[w : w+int(n) : w+int(n)], data[w+int(n):], true
+}
+
+// SharedPrefixLen returns the length of the common prefix of a and b.
+// It underpins the prefix-compressed block encoding in sstables.
+func SharedPrefixLen(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	return i
+}

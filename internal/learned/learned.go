@@ -1,0 +1,41 @@
+// Package learned implements the learned index models the tutorial covers
+// as fence-pointer replacements (Module II-iv): a greedy piecewise-linear
+// regression with a hard error bound (the PGM/Bourbon family) and a
+// RadixSpline built in a single pass. Both are read-only models over the
+// sorted key space of an immutable run — exactly the property that makes
+// learned indexes a good fit for LSM-trees: training happens once at
+// file-build time and never has to absorb inserts.
+package learned
+
+import "encoding/binary"
+
+// KeyToUint64 maps a user key to the numeric domain the models learn:
+// the first 8 bytes big-endian (shorter keys are zero-padded), so numeric
+// order matches lexicographic byte order for the leading 8 bytes.
+func KeyToUint64(key []byte) uint64 {
+	var buf [8]byte
+	copy(buf[:], key)
+	return binary.BigEndian.Uint64(buf[:])
+}
+
+// Model predicts the position of a key within a sorted array and reports
+// the guaranteed search window around the prediction.
+type Model interface {
+	// Predict returns a position estimate for x plus the inclusive window
+	// [lo, hi] that provably contains x's position if x is present.
+	Predict(x uint64) (pos, lo, hi int)
+	// ApproxMemory returns the model's resident size in bytes.
+	ApproxMemory() int
+	// Epsilon returns the model's maximum prediction error.
+	Epsilon() int
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

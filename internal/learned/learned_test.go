@@ -1,0 +1,237 @@
+package learned
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// datasets produces key distributions with different hardness for linear
+// models.
+func datasets(n int) map[string][]uint64 {
+	rng := rand.New(rand.NewSource(99))
+	uniform := make([]uint64, n)
+	for i := range uniform {
+		uniform[i] = rng.Uint64() >> 1
+	}
+	sort.Slice(uniform, func(i, j int) bool { return uniform[i] < uniform[j] })
+
+	sequential := make([]uint64, n)
+	for i := range sequential {
+		sequential[i] = uint64(i) * 1000
+	}
+
+	clustered := make([]uint64, 0, n)
+	base := uint64(0)
+	for len(clustered) < n {
+		base += uint64(rng.Intn(1 << 30))
+		for j := 0; j < 64 && len(clustered) < n; j++ {
+			base += uint64(rng.Intn(16) + 1)
+			clustered = append(clustered, base)
+		}
+	}
+
+	dups := make([]uint64, n)
+	for i := range dups {
+		dups[i] = uint64(i/8) * 100 // runs of 8 duplicates
+	}
+	return map[string][]uint64{
+		"uniform":    uniform,
+		"sequential": sequential,
+		"clustered":  clustered,
+		"duplicates": dups,
+	}
+}
+
+// checkWindow asserts the fundamental learned-index guarantee: for every
+// training key, its true position lies inside [lo, hi].
+func checkWindow(t *testing.T, name string, m Model, xs []uint64) {
+	t.Helper()
+	for i, x := range xs {
+		_, lo, hi := m.Predict(x)
+		// With duplicates, any position holding value x is acceptable.
+		first := sort.Search(len(xs), func(j int) bool { return xs[j] >= x })
+		last := sort.Search(len(xs), func(j int) bool { return xs[j] > x }) - 1
+		if !(lo <= last && hi >= first) {
+			t.Fatalf("%s: key %d (x=%d) window [%d,%d] misses positions [%d,%d]",
+				name, i, x, lo, hi, first, last)
+		}
+	}
+}
+
+func TestPLRWindowGuarantee(t *testing.T) {
+	for name, xs := range datasets(5000) {
+		for _, eps := range []int{4, 16, 64} {
+			p := BuildPLR(xs, eps)
+			checkWindow(t, name, p, xs)
+		}
+	}
+}
+
+func TestRadixSplineWindowGuarantee(t *testing.T) {
+	for name, xs := range datasets(5000) {
+		for _, eps := range []int{4, 16, 64} {
+			rs := BuildRadixSpline(xs, eps, 12)
+			checkWindow(t, name, rs, xs)
+		}
+	}
+}
+
+func TestPLRSegmentCountShrinksWithEps(t *testing.T) {
+	xs := datasets(20000)["uniform"]
+	tight := BuildPLR(xs, 2)
+	loose := BuildPLR(xs, 128)
+	if loose.Segments() > tight.Segments() {
+		t.Errorf("eps=128 produced %d segments, eps=2 produced %d; larger eps must not need more",
+			loose.Segments(), tight.Segments())
+	}
+	if tight.Segments() < 2 {
+		t.Error("uniform random data with eps=2 should need multiple segments")
+	}
+}
+
+func TestPLRSequentialIsOneSegment(t *testing.T) {
+	xs := datasets(10000)["sequential"]
+	p := BuildPLR(xs, 4)
+	if p.Segments() != 1 {
+		t.Errorf("perfectly linear data needs 1 segment, got %d", p.Segments())
+	}
+	if p.Epsilon() > 4 {
+		t.Errorf("linear data should not widen epsilon, got %d", p.Epsilon())
+	}
+}
+
+func TestModelMemoryBelowFlatIndex(t *testing.T) {
+	// The learned-index claim: model memory is far below one entry per key.
+	xs := datasets(50000)["clustered"]
+	flat := len(xs) * 12 // 8-byte key + 4-byte position per fence entry
+	p := BuildPLR(xs, 32)
+	rs := BuildRadixSpline(xs, 32, 10)
+	if p.ApproxMemory() >= flat/4 {
+		t.Errorf("PLR memory %dB not well below flat index %dB", p.ApproxMemory(), flat)
+	}
+	if rs.ApproxMemory() >= flat/2 {
+		t.Errorf("RadixSpline memory %dB not well below flat index %dB", rs.ApproxMemory(), flat)
+	}
+}
+
+func TestPLREncodeDecode(t *testing.T) {
+	xs := datasets(3000)["clustered"]
+	p := BuildPLR(xs, 8)
+	q, err := DecodePLR(p.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Epsilon() != p.Epsilon() || q.Segments() != p.Segments() {
+		t.Fatalf("decode mismatch: eps %d/%d segs %d/%d", q.Epsilon(), p.Epsilon(), q.Segments(), p.Segments())
+	}
+	for i := 0; i < len(xs); i += 7 {
+		x := xs[i]
+		p1, l1, h1 := p.Predict(x)
+		p2, l2, h2 := q.Predict(x)
+		if p1 != p2 || l1 != l2 || h1 != h2 {
+			t.Fatalf("prediction diverged after round trip at x=%d", x)
+		}
+	}
+}
+
+func TestRadixSplineEncodeDecode(t *testing.T) {
+	xs := datasets(3000)["uniform"]
+	rs := BuildRadixSpline(xs, 8, 8)
+	q, err := DecodeRadixSpline(rs.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(xs); i += 7 {
+		p1, l1, h1 := rs.Predict(xs[i])
+		p2, l2, h2 := q.Predict(xs[i])
+		if p1 != p2 || l1 != l2 || h1 != h2 {
+			t.Fatalf("prediction diverged after round trip at i=%d", i)
+		}
+	}
+}
+
+func TestDecodeRejectsCorrupt(t *testing.T) {
+	if _, err := DecodePLR(nil); err == nil {
+		t.Error("DecodePLR(nil) must fail")
+	}
+	if _, err := DecodeRadixSpline([]byte{1}); err == nil {
+		t.Error("DecodeRadixSpline(short) must fail")
+	}
+	xs := []uint64{1, 2, 3, 4, 5}
+	enc := BuildPLR(xs, 2).Encode()
+	if _, err := DecodePLR(enc[:len(enc)-1]); err == nil {
+		t.Error("truncated PLR must fail to decode")
+	}
+}
+
+func TestEmptyModels(t *testing.T) {
+	p := BuildPLR(nil, 4)
+	if pos, lo, hi := p.Predict(42); pos != 0 || lo != 0 || hi != -1 {
+		t.Errorf("empty PLR must return empty window, got %d [%d,%d]", pos, lo, hi)
+	}
+	rs := BuildRadixSpline(nil, 4, 8)
+	if pos, lo, hi := rs.Predict(42); pos != 0 || lo != 0 || hi != -1 {
+		t.Errorf("empty RadixSpline must return empty window, got %d [%d,%d]", pos, lo, hi)
+	}
+}
+
+func TestKeyToUint64OrderPreserving(t *testing.T) {
+	keys := [][]byte{
+		{}, {0x00}, {0x00, 0x01}, {0x01}, []byte("abc"),
+		[]byte("abcdefgh"), []byte("abcdefghi"), []byte("abd"), {0xff},
+	}
+	for i := 0; i < len(keys); i++ {
+		for j := i + 1; j < len(keys); j++ {
+			a, b := KeyToUint64(keys[i]), KeyToUint64(keys[j])
+			// Order must be preserved up to 8-byte-prefix ties.
+			if a > b {
+				t.Errorf("KeyToUint64 inverts order of %q and %q", keys[i], keys[j])
+			}
+		}
+	}
+	// Keys sharing an 8-byte prefix map to the same value.
+	if KeyToUint64([]byte("abcdefgh")) != KeyToUint64([]byte("abcdefghZZZ")) {
+		t.Error("8-byte prefix ties must collapse")
+	}
+}
+
+func TestPredictOutOfDomain(t *testing.T) {
+	xs := []uint64{100, 200, 300, 400, 500}
+	for _, m := range []Model{BuildPLR(xs, 2), BuildRadixSpline(xs, 2, 4)} {
+		if pos, lo, _ := m.Predict(1); pos != 0 && lo != 0 {
+			t.Errorf("key below domain should predict near 0, got %d", pos)
+		}
+		pos, _, hi := m.Predict(10000)
+		if pos > len(xs)-1 || hi != len(xs)-1 {
+			t.Errorf("key above domain should clamp to end, got pos=%d hi=%d", pos, hi)
+		}
+	}
+}
+
+func BenchmarkPLRPredict(b *testing.B) {
+	xs := datasets(200000)["uniform"]
+	p := BuildPLR(xs, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Predict(xs[i%len(xs)])
+	}
+}
+
+func BenchmarkRadixSplinePredict(b *testing.B) {
+	xs := datasets(200000)["uniform"]
+	rs := BuildRadixSpline(xs, 16, 14)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs.Predict(xs[i%len(xs)])
+	}
+}
+
+func BenchmarkBinarySearchBaseline(b *testing.B) {
+	xs := datasets(200000)["uniform"]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := xs[i%len(xs)]
+		sort.Search(len(xs), func(j int) bool { return xs[j] >= x })
+	}
+}

@@ -1,0 +1,185 @@
+package learned
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrCorrupt is returned when decoding a malformed serialized model.
+var ErrCorrupt = errors.New("learned: corrupt model")
+
+// PLR is a greedy piecewise-linear regression with a bounded prediction
+// error, in the spirit of the PGM-index and Bourbon's learned fence
+// pointers. Each segment guarantees |predicted - actual| <= Epsilon for
+// every training key, so a lookup needs only a binary search within a
+// 2ε+1 window instead of the whole array.
+type PLR struct {
+	segs []plrSegment
+	eps  int
+	n    int
+}
+
+type plrSegment struct {
+	startX    uint64
+	slope     float64
+	intercept float64 // predicted position at startX
+}
+
+// BuildPLR trains a model over xs, the (sorted, possibly duplicated)
+// numeric keys whose positions are their indexes. eps is the requested
+// error bound; the effective bound may grow if duplicate keys force it
+// (duplicates share an x but occupy multiple positions). xs is not
+// retained.
+func BuildPLR(xs []uint64, eps int) *PLR {
+	if eps < 1 {
+		eps = 1
+	}
+	p := &PLR{eps: eps, n: len(xs)}
+	if len(xs) == 0 {
+		return p
+	}
+	e := float64(eps)
+	startIdx := 0
+	slopeLo, slopeHi := math.Inf(-1), math.Inf(1)
+	emit := func(endIdx int) {
+		var slope float64
+		switch {
+		case math.IsInf(slopeLo, -1) && math.IsInf(slopeHi, 1):
+			slope = 0
+		case math.IsInf(slopeLo, -1):
+			slope = slopeHi
+		case math.IsInf(slopeHi, 1):
+			slope = slopeLo
+		default:
+			slope = (slopeLo + slopeHi) / 2
+		}
+		p.segs = append(p.segs, plrSegment{
+			startX:    xs[startIdx],
+			slope:     slope,
+			intercept: float64(startIdx),
+		})
+	}
+	for i := startIdx + 1; i < len(xs); i++ {
+		dx := float64(xs[i] - xs[startIdx])
+		if dx == 0 {
+			continue // duplicate x: cannot constrain slope
+		}
+		dy := float64(i - startIdx)
+		lo := (dy - e) / dx
+		hi := (dy + e) / dx
+		newLo, newHi := slopeLo, slopeHi
+		if lo > newLo {
+			newLo = lo
+		}
+		if hi < newHi {
+			newHi = hi
+		}
+		if newLo > newHi {
+			// Cone collapsed: close the running segment before point i.
+			emit(i - 1)
+			startIdx = i
+			slopeLo, slopeHi = math.Inf(-1), math.Inf(1)
+			continue
+		}
+		slopeLo, slopeHi = newLo, newHi
+	}
+	emit(len(xs) - 1)
+	// Duplicates (and midpoint-slope rounding) can push the realized error
+	// past the requested bound; measure and widen so Predict's window is a
+	// real guarantee.
+	maxErr := 0
+	for i, x := range xs {
+		pos, _, _ := p.Predict(x)
+		if d := abs(pos - i); d > maxErr {
+			maxErr = d
+		}
+	}
+	if maxErr > p.eps {
+		p.eps = maxErr
+	}
+	return p
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Predict implements Model.
+func (p *PLR) Predict(x uint64) (pos, lo, hi int) {
+	if p.n == 0 {
+		return 0, 0, -1
+	}
+	// Last segment with startX <= x.
+	i := sort.Search(len(p.segs), func(i int) bool { return p.segs[i].startX > x }) - 1
+	if i < 0 {
+		i = 0
+	}
+	s := p.segs[i]
+	var dx float64
+	if x > s.startX {
+		dx = float64(x - s.startX)
+	}
+	pos = int(math.Round(s.intercept + s.slope*dx))
+	pos = clamp(pos, 0, p.n-1)
+	return pos, clamp(pos-p.eps, 0, p.n-1), clamp(pos+p.eps, 0, p.n-1)
+}
+
+// Epsilon implements Model.
+func (p *PLR) Epsilon() int { return p.eps }
+
+// Segments returns the number of linear segments in the model.
+func (p *PLR) Segments() int { return len(p.segs) }
+
+// ApproxMemory implements Model.
+func (p *PLR) ApproxMemory() int { return 16 + len(p.segs)*24 }
+
+// Encode serializes the model.
+func (p *PLR) Encode() []byte {
+	out := binary.AppendUvarint(nil, uint64(p.eps))
+	out = binary.AppendUvarint(out, uint64(p.n))
+	out = binary.AppendUvarint(out, uint64(len(p.segs)))
+	for _, s := range p.segs {
+		out = binary.LittleEndian.AppendUint64(out, s.startX)
+		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(s.slope))
+		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(s.intercept))
+	}
+	return out
+}
+
+// DecodePLR parses a serialized model.
+func DecodePLR(data []byte) (*PLR, error) {
+	eps, w := binary.Uvarint(data)
+	if w <= 0 {
+		return nil, ErrCorrupt
+	}
+	data = data[w:]
+	n, w := binary.Uvarint(data)
+	if w <= 0 {
+		return nil, ErrCorrupt
+	}
+	data = data[w:]
+	nseg, w := binary.Uvarint(data)
+	if w <= 0 {
+		return nil, ErrCorrupt
+	}
+	data = data[w:]
+	// Division form avoids overflow on attacker-controlled counts.
+	if nseg > uint64(len(data))/24 {
+		return nil, ErrCorrupt
+	}
+	p := &PLR{eps: int(eps), n: int(n), segs: make([]plrSegment, nseg)}
+	for i := range p.segs {
+		p.segs[i] = plrSegment{
+			startX:    binary.LittleEndian.Uint64(data[0:]),
+			slope:     math.Float64frombits(binary.LittleEndian.Uint64(data[8:])),
+			intercept: math.Float64frombits(binary.LittleEndian.Uint64(data[16:])),
+		}
+		data = data[24:]
+	}
+	return p, nil
+}

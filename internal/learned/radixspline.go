@@ -1,0 +1,235 @@
+package learned
+
+import (
+	"encoding/binary"
+	"math"
+	"sort"
+)
+
+// RadixSpline (Kipf et al., aiDM'20): a single-pass learned index made of
+// an error-bounded linear spline over the key/position space plus a radix
+// table over the keys' top bits that narrows the spline-segment search to
+// a tiny range. Unlike multi-pass models (RMI, PGM), construction is one
+// streaming pass — the property that makes it attractive for building at
+// LSM flush/compaction speed.
+type RadixSpline struct {
+	eps       int
+	n         int
+	radixBits uint
+	minKey    uint64
+	shift     uint
+	radix     []uint32 // radix prefix -> first spline point index
+	splineX   []uint64
+	splineY   []uint32
+}
+
+// BuildRadixSpline trains a spline with the given error bound and radix
+// table width (radixBits in [1, 20]) over sorted xs.
+func BuildRadixSpline(xs []uint64, eps int, radixBits uint) *RadixSpline {
+	if eps < 1 {
+		eps = 1
+	}
+	if radixBits < 1 {
+		radixBits = 1
+	}
+	if radixBits > 20 {
+		radixBits = 20
+	}
+	rs := &RadixSpline{eps: eps, n: len(xs), radixBits: radixBits}
+	if len(xs) == 0 {
+		return rs
+	}
+	rs.minKey = xs[0]
+	span := xs[len(xs)-1] - xs[0]
+	// shift so that (x - minKey) >> shift fits in radixBits.
+	rs.shift = 0
+	for span>>rs.shift >= 1<<radixBits {
+		rs.shift++
+	}
+
+	// Greedy error-bounded spline: keep a cone of feasible slopes from the
+	// current spline point; when a point falls outside, the previous point
+	// becomes a spline point.
+	addPoint := func(i int) {
+		rs.splineX = append(rs.splineX, xs[i])
+		rs.splineY = append(rs.splineY, uint32(i))
+	}
+	addPoint(0)
+	base := 0
+	e := float64(eps)
+	slopeLo, slopeHi := math.Inf(-1), math.Inf(1)
+	for i := 1; i < len(xs); i++ {
+		dx := float64(xs[i] - xs[base])
+		if dx == 0 {
+			continue
+		}
+		dy := float64(i - base)
+		lo := (dy - e) / dx
+		hi := (dy + e) / dx
+		newLo, newHi := slopeLo, slopeHi
+		if lo > newLo {
+			newLo = lo
+		}
+		if hi < newHi {
+			newHi = hi
+		}
+		if newLo > newHi {
+			addPoint(i - 1)
+			base = i - 1
+			// Recompute the cone from the new base to point i.
+			dx = float64(xs[i] - xs[base])
+			if dx == 0 {
+				slopeLo, slopeHi = math.Inf(-1), math.Inf(1)
+				continue
+			}
+			dy = float64(i - base)
+			slopeLo, slopeHi = (dy-e)/dx, (dy+e)/dx
+			continue
+		}
+		slopeLo, slopeHi = newLo, newHi
+	}
+	addPoint(len(xs) - 1)
+
+	// Radix table: for each prefix, the first spline point whose key has
+	// that prefix or a larger one.
+	rs.radix = make([]uint32, (1<<radixBits)+1)
+	prev := 0
+	for p := 0; p <= 1<<radixBits; p++ {
+		for prev < len(rs.splineX) && int(rs.prefix(rs.splineX[prev])) < p {
+			prev++
+		}
+		rs.radix[p] = uint32(prev)
+	}
+
+	// As with PLR, widen eps to the observed worst error so the window is
+	// a hard guarantee even with duplicate keys.
+	maxErr := 0
+	for i, x := range xs {
+		pos, _, _ := rs.Predict(x)
+		if d := abs(pos - i); d > maxErr {
+			maxErr = d
+		}
+	}
+	if maxErr > rs.eps {
+		rs.eps = maxErr
+	}
+	return rs
+}
+
+func (rs *RadixSpline) prefix(x uint64) uint64 {
+	if x < rs.minKey {
+		return 0
+	}
+	return (x - rs.minKey) >> rs.shift
+}
+
+// Predict implements Model.
+func (rs *RadixSpline) Predict(x uint64) (pos, lo, hi int) {
+	if rs.n == 0 {
+		return 0, 0, -1
+	}
+	if x <= rs.splineX[0] {
+		return 0, 0, clamp(rs.eps, 0, rs.n-1)
+	}
+	last := len(rs.splineX) - 1
+	if x >= rs.splineX[last] {
+		pos = int(rs.splineY[last])
+		return pos, clamp(pos-rs.eps, 0, rs.n-1), rs.n - 1
+	}
+	p := rs.prefix(x)
+	begin, end := int(rs.radix[p]), int(rs.radix[p+1])
+	// The segment containing x starts at the last spline point <= x; it
+	// may precede `begin` by one.
+	if begin > 0 {
+		begin--
+	}
+	if end >= len(rs.splineX) {
+		end = len(rs.splineX) - 1
+	}
+	// First spline point > x within [begin, end], then step back.
+	i := begin + sort.Search(end-begin+1, func(i int) bool {
+		return rs.splineX[begin+i] > x
+	}) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= last {
+		i = last - 1
+	}
+	x0, y0 := rs.splineX[i], float64(rs.splineY[i])
+	x1, y1 := rs.splineX[i+1], float64(rs.splineY[i+1])
+	var frac float64
+	if x1 > x0 {
+		frac = float64(x-x0) / float64(x1-x0)
+	}
+	pos = int(math.Round(y0 + frac*(y1-y0)))
+	pos = clamp(pos, 0, rs.n-1)
+	return pos, clamp(pos-rs.eps, 0, rs.n-1), clamp(pos+rs.eps, 0, rs.n-1)
+}
+
+// Epsilon implements Model.
+func (rs *RadixSpline) Epsilon() int { return rs.eps }
+
+// SplinePoints returns the number of retained spline points.
+func (rs *RadixSpline) SplinePoints() int { return len(rs.splineX) }
+
+// ApproxMemory implements Model.
+func (rs *RadixSpline) ApproxMemory() int {
+	return 48 + len(rs.radix)*4 + len(rs.splineX)*12
+}
+
+// Encode serializes the model.
+func (rs *RadixSpline) Encode() []byte {
+	out := binary.AppendUvarint(nil, uint64(rs.eps))
+	out = binary.AppendUvarint(out, uint64(rs.n))
+	out = binary.AppendUvarint(out, uint64(rs.radixBits))
+	out = binary.AppendUvarint(out, rs.minKey)
+	out = binary.AppendUvarint(out, uint64(rs.shift))
+	out = binary.AppendUvarint(out, uint64(len(rs.splineX)))
+	for i := range rs.splineX {
+		out = binary.LittleEndian.AppendUint64(out, rs.splineX[i])
+		out = binary.LittleEndian.AppendUint32(out, rs.splineY[i])
+	}
+	return out
+}
+
+// DecodeRadixSpline parses a serialized model, rebuilding the radix table.
+func DecodeRadixSpline(data []byte) (*RadixSpline, error) {
+	var vals [6]uint64
+	for i := range vals {
+		v, w := binary.Uvarint(data)
+		if w <= 0 {
+			return nil, ErrCorrupt
+		}
+		vals[i] = v
+		data = data[w:]
+	}
+	rs := &RadixSpline{
+		eps:       int(vals[0]),
+		n:         int(vals[1]),
+		radixBits: uint(vals[2]),
+		minKey:    vals[3],
+		shift:     uint(vals[4]),
+	}
+	npoints := vals[5]
+	// Division form avoids overflow on attacker-controlled counts.
+	if npoints > uint64(len(data))/12 || rs.radixBits > 20 {
+		return nil, ErrCorrupt
+	}
+	rs.splineX = make([]uint64, npoints)
+	rs.splineY = make([]uint32, npoints)
+	for i := uint64(0); i < npoints; i++ {
+		rs.splineX[i] = binary.LittleEndian.Uint64(data[0:])
+		rs.splineY[i] = binary.LittleEndian.Uint32(data[8:])
+		data = data[12:]
+	}
+	rs.radix = make([]uint32, (1<<rs.radixBits)+1)
+	prev := 0
+	for p := 0; p <= 1<<rs.radixBits; p++ {
+		for prev < len(rs.splineX) && int(rs.prefix(rs.splineX[prev])) < p {
+			prev++
+		}
+		rs.radix[p] = uint32(prev)
+	}
+	return rs, nil
+}

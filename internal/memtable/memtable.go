@@ -1,0 +1,186 @@
+// Package memtable implements the in-memory write buffer of the LSM-tree:
+// a skiplist ordered by internal key. Writes accumulate here until the
+// buffer reaches capacity and is frozen and flushed to storage as a sorted
+// run (tutorial Module I, "Flush").
+//
+// The skiplist is insert-only — updates and deletes are new versions with
+// higher sequence numbers, per the out-of-place LSM write model — so
+// readers only need a read-lock around pointer traversal and never observe
+// partially linked towers.
+package memtable
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"lsmkv/internal/kv"
+)
+
+const (
+	maxHeight = 12
+	// branching is the expected ratio between adjacent skiplist levels.
+	branching = 4
+)
+
+type node struct {
+	entry kv.Entry
+	next  []*node // tower; len(next) == node height
+}
+
+// Memtable is a concurrent ordered buffer of versioned entries. The zero
+// value is not usable; call New.
+type Memtable struct {
+	mu     sync.RWMutex
+	head   *node
+	height int
+	rng    *rand.Rand
+	size   atomic.Int64
+	count  atomic.Int64
+}
+
+// New returns an empty memtable.
+func New() *Memtable {
+	return &Memtable{
+		head:   &node{next: make([]*node, maxHeight)},
+		height: 1,
+		rng:    rand.New(rand.NewSource(0xda7aba5e)),
+	}
+}
+
+func (m *Memtable) randomHeight() int {
+	h := 1
+	for h < maxHeight && m.rng.Intn(branching) == 0 {
+		h++
+	}
+	return h
+}
+
+// findGE returns the first node with key >= target, filling prev with the
+// rightmost node before target at every level when prev is non-nil.
+// Callers must hold at least a read lock.
+func (m *Memtable) findGE(target kv.InternalKey, prev []*node) *node {
+	x := m.head
+	for level := m.height - 1; level >= 0; level-- {
+		for {
+			nxt := x.next[level]
+			if nxt == nil || kv.CompareInternal(nxt.entry.Key, target) >= 0 {
+				break
+			}
+			x = nxt
+		}
+		if prev != nil {
+			prev[level] = x
+		}
+	}
+	return x.next[0]
+}
+
+// Add inserts a new versioned entry. The entry is deep-copied so callers
+// may reuse their buffers. Duplicate internal keys (same user key, seq and
+// kind) overwrite in place; the engine never produces them in normal
+// operation.
+func (m *Memtable) Add(e kv.Entry) {
+	e = e.Clone()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	prev := make([]*node, maxHeight)
+	for i := range prev {
+		prev[i] = m.head
+	}
+	if n := m.findGE(e.Key, prev); n != nil && kv.CompareInternal(n.entry.Key, e.Key) == 0 {
+		m.size.Add(int64(len(e.Value) - len(n.entry.Value)))
+		n.entry.Value = e.Value
+		return
+	}
+	h := m.randomHeight()
+	if h > m.height {
+		m.height = h
+	}
+	n := &node{entry: e, next: make([]*node, h)}
+	for level := 0; level < h; level++ {
+		n.next[level] = prev[level].next[level]
+		prev[level].next[level] = n
+	}
+	m.size.Add(int64(e.Size()) + 48) // payload plus tower overhead estimate
+	m.count.Add(1)
+}
+
+// Get returns the newest version of key visible at snapshot seq. found
+// reports whether any visible version exists; if the visible version is a
+// tombstone, found is true and kind is KindDelete.
+func (m *Memtable) Get(key []byte, seq kv.SeqNum) (value []byte, kind kv.Kind, found bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	n := m.findGE(kv.MakeSearchKey(key, seq), nil)
+	if n == nil {
+		return nil, 0, false
+	}
+	ik := n.entry.Key
+	if !ik.Visible(seq) || string(ik.UserKey) != string(key) {
+		return nil, 0, false
+	}
+	return n.entry.Value, ik.Kind, true
+}
+
+// ApproxSize returns the estimated resident bytes of the buffer. The
+// engine compares it against the configured buffer capacity to decide when
+// to flush.
+func (m *Memtable) ApproxSize() int64 { return m.size.Load() }
+
+// Len returns the number of entries.
+func (m *Memtable) Len() int { return int(m.count.Load()) }
+
+// Empty reports whether the memtable holds no entries.
+func (m *Memtable) Empty() bool { return m.count.Load() == 0 }
+
+// NewIterator returns an iterator over the memtable. The iterator observes
+// entries inserted before each positioning call; the engine freezes
+// memtables before flushing them, so flush iterators see a stable set.
+func (m *Memtable) NewIterator() kv.Iterator {
+	return &iterator{m: m}
+}
+
+type iterator struct {
+	m   *Memtable
+	cur *node
+}
+
+var _ kv.Iterator = (*iterator)(nil)
+
+func (it *iterator) SeekGE(target kv.InternalKey) bool {
+	it.m.mu.RLock()
+	defer it.m.mu.RUnlock()
+	it.cur = it.m.findGE(target, nil)
+	return it.cur != nil
+}
+
+func (it *iterator) First() bool {
+	it.m.mu.RLock()
+	defer it.m.mu.RUnlock()
+	it.cur = it.m.head.next[0]
+	return it.cur != nil
+}
+
+func (it *iterator) Next() bool {
+	if it.cur == nil {
+		return false
+	}
+	it.m.mu.RLock()
+	defer it.m.mu.RUnlock()
+	it.cur = it.cur.next[0]
+	return it.cur != nil
+}
+
+func (it *iterator) Valid() bool { return it.cur != nil }
+
+func (it *iterator) Key() kv.InternalKey { return it.cur.entry.Key }
+
+func (it *iterator) Value() []byte { return it.cur.entry.Value }
+
+func (it *iterator) Error() error { return nil }
+
+func (it *iterator) Close() error {
+	it.cur = nil
+	return nil
+}

@@ -1,0 +1,105 @@
+package memtable
+
+import (
+	"sync"
+
+	"lsmkv/internal/kv"
+)
+
+// TwoLevel is a FloDB-style (Balmau et al., EuroSys'17) two-level write
+// buffer: a small unordered hash front absorbs point writes and point
+// lookups at hash-map speed, and drains into the ordered skiplist back
+// level when it fills. Sorting work is deferred and batched, which
+// unclogs the ingestion path; scans and flushes read the back level, so
+// the front must be drained before either.
+//
+// Unlike FloDB, an overwritten front entry's older version is demoted to
+// the back level instead of dropped, preserving snapshot reads.
+type TwoLevel struct {
+	mu        sync.RWMutex
+	front     map[string]kv.Entry
+	frontSize int64
+	frontCap  int64
+	back      *Memtable
+}
+
+// NewTwoLevel creates a two-level buffer whose front level holds up to
+// frontCap bytes before draining.
+func NewTwoLevel(frontCap int64) *TwoLevel {
+	if frontCap < 1 {
+		frontCap = 1 << 20
+	}
+	return &TwoLevel{
+		front:    make(map[string]kv.Entry),
+		frontCap: frontCap,
+		back:     New(),
+	}
+}
+
+// Add inserts a versioned entry into the front level, demoting any older
+// version of the same user key to the back level. It drains the front when
+// it exceeds capacity.
+func (t *TwoLevel) Add(e kv.Entry) {
+	e = e.Clone()
+	t.mu.Lock()
+	k := string(e.Key.UserKey)
+	if old, ok := t.front[k]; ok {
+		t.frontSize -= int64(old.Size())
+		t.back.Add(old)
+	}
+	t.front[k] = e
+	t.frontSize += int64(e.Size())
+	needDrain := t.frontSize >= t.frontCap
+	t.mu.Unlock()
+	if needDrain {
+		t.Drain()
+	}
+}
+
+// Drain moves every front entry into the ordered back level.
+func (t *TwoLevel) Drain() {
+	t.mu.Lock()
+	front := t.front
+	t.front = make(map[string]kv.Entry)
+	t.frontSize = 0
+	t.mu.Unlock()
+	for _, e := range front {
+		t.back.Add(e)
+	}
+}
+
+// Get returns the newest visible version of key at snapshot seq, checking
+// the front hash first.
+func (t *TwoLevel) Get(key []byte, seq kv.SeqNum) (value []byte, kind kv.Kind, found bool) {
+	t.mu.RLock()
+	e, ok := t.front[string(key)]
+	t.mu.RUnlock()
+	if ok && e.Key.Visible(seq) {
+		return e.Value, e.Key.Kind, true
+	}
+	// Either absent from the front or too new for this snapshot; the next
+	// older version (if any) lives in the back level.
+	return t.back.Get(key, seq)
+}
+
+// ApproxSize returns the combined resident size of both levels.
+func (t *TwoLevel) ApproxSize() int64 {
+	t.mu.RLock()
+	fs := t.frontSize
+	t.mu.RUnlock()
+	return fs + t.back.ApproxSize()
+}
+
+// Len returns the total number of entries across both levels.
+func (t *TwoLevel) Len() int {
+	t.mu.RLock()
+	fl := len(t.front)
+	t.mu.RUnlock()
+	return fl + t.back.Len()
+}
+
+// NewIterator drains the front level and iterates the ordered back level.
+func (t *TwoLevel) NewIterator() kv.Iterator {
+	t.Drain()
+	return t.back.NewIterator()
+}

@@ -1,0 +1,117 @@
+package rangefilter
+
+import (
+	"bytes"
+
+	"lsmkv/internal/learned"
+)
+
+// keyDomain maps byte-string keys into the 64-bit numeric domain that
+// Rosetta and SNARF operate on. Real deployments of both filters assume
+// integer keys; string keys in practice share a long common prefix (table
+// ids, "user…" namespaces) whose bytes would otherwise swallow the 8-byte
+// window the mapping can see. The domain therefore:
+//
+//  1. strips the longest common prefix of the filtered key set, and
+//  2. when every remaining suffix has one fixed length L <= 8,
+//     right-aligns the value (shifts out the 8-L padding bytes), so that
+//     keys adjacent in suffix space are numerically close — which is what
+//     keeps short key ranges short in the numeric domain.
+//
+// Both transformations preserve order over the stored key set, and query
+// bounds of any length map to conservative (over-covering) values, so the
+// filters keep their no-false-negative guarantee.
+type keyDomain struct {
+	prefix []byte
+	// fixedLen > 0 right-aligns fixedLen-byte suffixes; 0 left-aligns.
+	fixedLen int
+}
+
+// commonPrefix narrows p to its shared prefix with k.
+func commonPrefix(p, k []byte) []byte {
+	n := len(p)
+	if len(k) < n {
+		n = len(k)
+	}
+	i := 0
+	for i < n && p[i] == k[i] {
+		i++
+	}
+	return p[:i]
+}
+
+// Relation of a query key to the domain's prefixed key region.
+const (
+	relBelow  = -1
+	relInside = 0
+	relAbove  = 1
+)
+
+func (d keyDomain) mapSuffix(s []byte) uint64 {
+	v := learned.KeyToUint64(s)
+	if d.fixedLen > 0 && d.fixedLen < 8 {
+		v >>= uint(8-d.fixedLen) * 8
+	}
+	return v
+}
+
+// mapKey maps k into the numeric domain. rel reports whether k sorts
+// before every key carrying the prefix, inside the region, or after it.
+func (d keyDomain) mapKey(k []byte) (v uint64, rel int) {
+	p := d.prefix
+	if len(k) >= len(p) && bytes.Equal(k[:len(p)], p) {
+		return d.mapSuffix(k[len(p):]), relInside
+	}
+	// k diverges from (or is shorter than) the prefix: it sorts entirely
+	// before or after every prefixed key.
+	if bytes.Compare(k, p) < 0 {
+		return 0, relBelow
+	}
+	return ^uint64(0), relAbove
+}
+
+// mapRange maps query bounds [lo, hi] onto the domain, clamping bounds
+// outside the prefixed region. Truncation of over-long suffixes rounds
+// the lower bound down and keeps the upper bound inclusive, so the mapped
+// interval always covers every stored key in [lo, hi]. empty reports that
+// no prefixed key can lie within the range.
+func (d keyDomain) mapRange(lo, hi []byte) (a, b uint64, empty bool) {
+	av, arel := d.mapKey(lo)
+	bv, brel := d.mapKey(hi)
+	if arel == relAbove || brel == relBelow {
+		return 0, 0, true
+	}
+	if arel == relBelow {
+		av = 0
+	}
+	if brel == relAbove {
+		bv = ^uint64(0)
+	}
+	if av > bv {
+		return 0, 0, true
+	}
+	return av, bv, false
+}
+
+// domainFor derives the mapping from the final stored key set: lcp is the
+// longest common prefix, and suffix lengths decide alignment.
+func domainFor(keys [][]byte) keyDomain {
+	if len(keys) == 0 {
+		return keyDomain{}
+	}
+	prefix := keys[0]
+	for _, k := range keys[1:] {
+		prefix = commonPrefix(prefix, k)
+	}
+	fixed := len(keys[0]) - len(prefix)
+	for _, k := range keys[1:] {
+		if len(k)-len(prefix) != fixed {
+			fixed = 0
+			break
+		}
+	}
+	if fixed > 8 || fixed < 1 {
+		fixed = 0
+	}
+	return keyDomain{prefix: prefix, fixedLen: fixed}
+}

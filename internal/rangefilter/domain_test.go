@@ -1,0 +1,128 @@
+package rangefilter
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestDomainForFixedLength(t *testing.T) {
+	keys := [][]byte{
+		[]byte("user0001"), []byte("user0042"), []byte("user0999"),
+	}
+	d := domainFor(keys)
+	if string(d.prefix) != "user0" {
+		t.Fatalf("prefix %q", d.prefix)
+	}
+	if d.fixedLen != 3 {
+		t.Fatalf("fixedLen %d want 3", d.fixedLen)
+	}
+	// Adjacent suffixes map to adjacent numbers under right alignment.
+	a, _ := d.mapKey([]byte("user0041"))
+	b, _ := d.mapKey([]byte("user0042"))
+	if b-a != 1 {
+		t.Fatalf("adjacent keys map %d apart", b-a)
+	}
+}
+
+func TestDomainForMixedLengths(t *testing.T) {
+	keys := [][]byte{[]byte("k1"), []byte("k23"), []byte("k456")}
+	d := domainFor(keys)
+	if d.fixedLen != 0 {
+		t.Fatalf("mixed lengths must left-align, got fixedLen=%d", d.fixedLen)
+	}
+	// Order must still be preserved.
+	var prev uint64
+	for i, k := range keys {
+		v, rel := d.mapKey(k)
+		if rel != relInside {
+			t.Fatalf("key %d outside its own domain", i)
+		}
+		if i > 0 && v < prev {
+			t.Fatalf("order inverted at %d", i)
+		}
+		prev = v
+	}
+}
+
+func TestDomainMapKeyRelations(t *testing.T) {
+	d := domainFor([][]byte{[]byte("px100"), []byte("px999")})
+	if _, rel := d.mapKey([]byte("pa000")); rel != relBelow {
+		t.Error("key below prefix region not classified relBelow")
+	}
+	if _, rel := d.mapKey([]byte("pz000")); rel != relAbove {
+		t.Error("key above prefix region not classified relAbove")
+	}
+	if _, rel := d.mapKey([]byte("px555")); rel != relInside {
+		t.Error("prefixed key not classified relInside")
+	}
+	// Shorter than the prefix and lexicographically below it.
+	if _, rel := d.mapKey([]byte("p")); rel != relBelow {
+		t.Error("short key misclassified")
+	}
+}
+
+func TestDomainMapRangeClamping(t *testing.T) {
+	d := domainFor([][]byte{[]byte("px100"), []byte("px999")})
+	// Range straddling the region from below.
+	a, _, empty := d.mapRange([]byte("pa"), []byte("px500"))
+	if empty || a != 0 {
+		t.Errorf("straddle-from-below: a=%d empty=%v", a, empty)
+	}
+	// Range straddling from above.
+	_, b, empty := d.mapRange([]byte("px500"), []byte("pz"))
+	if empty || b != ^uint64(0) {
+		t.Errorf("straddle-from-above: b=%d empty=%v", b, empty)
+	}
+	// Range entirely outside.
+	if _, _, empty := d.mapRange([]byte("pa"), []byte("pb")); !empty {
+		t.Error("range below region not empty")
+	}
+	if _, _, empty := d.mapRange([]byte("py"), []byte("pz")); !empty {
+		t.Error("range above region not empty")
+	}
+}
+
+func TestDomainQueryBoundLengths(t *testing.T) {
+	// Stored keys have 3-byte suffixes; query bounds of other lengths
+	// must map conservatively (cover every stored key in range).
+	keys := [][]byte{[]byte("ab100"), []byte("ab200"), []byte("ab300")}
+	d := domainFor(keys)
+	v200, _ := d.mapKey([]byte("ab200"))
+	// Short lower bound "ab2" covers "ab200".
+	a, b, empty := d.mapRange([]byte("ab2"), []byte("ab201"))
+	if empty || a > v200 || b < v200 {
+		t.Errorf("short lower bound fails to cover: [%d,%d] vs %d", a, b, v200)
+	}
+	// Long upper bound "ab2005" covers "ab200".
+	a, b, empty = d.mapRange([]byte("ab199"), []byte("ab2005"))
+	if empty || a > v200 || b < v200 {
+		t.Errorf("long upper bound fails to cover: [%d,%d] vs %d", a, b, v200)
+	}
+}
+
+func TestCommonPrefixHelper(t *testing.T) {
+	if got := commonPrefix([]byte("abcd"), []byte("abxy")); !bytes.Equal(got, []byte("ab")) {
+		t.Errorf("commonPrefix=%q", got)
+	}
+	if got := commonPrefix([]byte("ab"), []byte("abcd")); !bytes.Equal(got, []byte("ab")) {
+		t.Errorf("prefix-of case: %q", got)
+	}
+	if got := commonPrefix([]byte("xy"), []byte("ab")); len(got) != 0 {
+		t.Errorf("disjoint case: %q", got)
+	}
+}
+
+func TestDomainSingleKeyExact(t *testing.T) {
+	d := domainFor([][]byte{[]byte("only-key")})
+	// The whole key becomes the prefix; other keys are outside.
+	if _, rel := d.mapKey([]byte("only-key")); rel != relInside {
+		t.Error("the key itself must be inside")
+	}
+	if _, rel := d.mapKey([]byte("other")); rel == relInside {
+		t.Error("different key classified inside a single-key domain")
+	}
+	// An extension of the key still carries the prefix: inside (maybe).
+	if _, rel := d.mapKey([]byte("only-key-2")); rel != relInside {
+		t.Error("extension must be inside (conservative)")
+	}
+}

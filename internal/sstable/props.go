@@ -1,0 +1,76 @@
+package sstable
+
+import (
+	"encoding/binary"
+
+	"lsmkv/internal/kv"
+)
+
+// Properties summarizes a table for planning: compaction pickers use key
+// bounds and tombstone density, the cost model uses entry counts, and the
+// engine uses sequence bounds for snapshot-safe garbage collection.
+type Properties struct {
+	NumEntries    uint64
+	NumTombstones uint64
+	SmallestUser  []byte
+	LargestUser   []byte
+	SmallestSeq   kv.SeqNum
+	LargestSeq    kv.SeqNum
+	RawKeyBytes   uint64
+	RawValueBytes uint64
+	NumBlocks     uint64
+}
+
+func (p *Properties) encode() []byte {
+	var out []byte
+	out = binary.AppendUvarint(out, p.NumEntries)
+	out = binary.AppendUvarint(out, p.NumTombstones)
+	out = kv.AppendLengthPrefixed(out, p.SmallestUser)
+	out = kv.AppendLengthPrefixed(out, p.LargestUser)
+	out = binary.AppendUvarint(out, uint64(p.SmallestSeq))
+	out = binary.AppendUvarint(out, uint64(p.LargestSeq))
+	out = binary.AppendUvarint(out, p.RawKeyBytes)
+	out = binary.AppendUvarint(out, p.RawValueBytes)
+	out = binary.AppendUvarint(out, p.NumBlocks)
+	return out
+}
+
+func decodeProperties(data []byte) (Properties, error) {
+	var p Properties
+	var ok bool
+	next := func() uint64 {
+		v, w := binary.Uvarint(data)
+		if w <= 0 {
+			ok = false
+			return 0
+		}
+		data = data[w:]
+		return v
+	}
+	ok = true
+	p.NumEntries = next()
+	p.NumTombstones = next()
+	if !ok {
+		return p, ErrCorruptTable
+	}
+	var b []byte
+	b, data, ok = kv.DecodeLengthPrefixed(data)
+	if !ok {
+		return p, ErrCorruptTable
+	}
+	p.SmallestUser = append([]byte(nil), b...)
+	b, data, ok = kv.DecodeLengthPrefixed(data)
+	if !ok {
+		return p, ErrCorruptTable
+	}
+	p.LargestUser = append([]byte(nil), b...)
+	p.SmallestSeq = kv.SeqNum(next())
+	p.LargestSeq = kv.SeqNum(next())
+	p.RawKeyBytes = next()
+	p.RawValueBytes = next()
+	p.NumBlocks = next()
+	if !ok {
+		return p, ErrCorruptTable
+	}
+	return p, nil
+}

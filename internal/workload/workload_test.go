@@ -1,0 +1,190 @@
+package workload
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func TestKeyFixedWidthOrderPreserving(t *testing.T) {
+	prev := ""
+	for _, i := range []int64{0, 1, 9, 10, 99, 1000, 999999999999} {
+		k := string(Key(i))
+		if len(k) != len("user000000000000") {
+			t.Errorf("Key(%d) width %d", i, len(k))
+		}
+		if k <= prev {
+			t.Errorf("Key(%d)=%q not above previous %q", i, k, prev)
+		}
+		prev = k
+	}
+}
+
+func TestValueDeterministicAndSized(t *testing.T) {
+	a := Value(42, 100)
+	b := Value(42, 100)
+	if string(a) != string(b) {
+		t.Error("Value not deterministic")
+	}
+	if len(a) != 100 {
+		t.Errorf("len=%d", len(a))
+	}
+	if string(Value(42, 100)) == string(Value(43, 100)) {
+		t.Error("distinct keys should get distinct values")
+	}
+	if len(Value(1, 2)) < 8 {
+		t.Error("tiny sizes must clamp to 8")
+	}
+}
+
+func TestUniformCoverage(t *testing.T) {
+	g := NewKeyGen(Uniform, 100, 0, 1)
+	seen := map[int64]bool{}
+	for i := 0; i < 5000; i++ {
+		k := g.Next()
+		if k < 0 || k >= 100 {
+			t.Fatalf("key %d out of range", k)
+		}
+		seen[k] = true
+	}
+	if len(seen) < 95 {
+		t.Errorf("uniform covered only %d/100 keys", len(seen))
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	g := NewKeyGen(Zipfian, 10000, 0.99, 2)
+	counts := map[int64]int{}
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		k := g.Next()
+		if k < 0 || k >= 10000 {
+			t.Fatalf("key %d out of range", k)
+		}
+		counts[k]++
+	}
+	// Rank keys by frequency: the top 10 keys should cover a large
+	// fraction of draws under theta=0.99.
+	freqs := make([]int, 0, len(counts))
+	for _, c := range counts {
+		freqs = append(freqs, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(freqs)))
+	top10 := 0
+	for i := 0; i < 10 && i < len(freqs); i++ {
+		top10 += freqs[i]
+	}
+	share := float64(top10) / draws
+	if share < 0.2 {
+		t.Errorf("top-10 share %.3f too low for zipf 0.99", share)
+	}
+	// And far above uniform's expectation (10/10000 = 0.001).
+	if share < 0.05 {
+		t.Errorf("zipf indistinguishable from uniform: %.4f", share)
+	}
+}
+
+func TestSequentialWraps(t *testing.T) {
+	g := NewKeyGen(Sequential, 5, 0, 3)
+	var got []int64
+	for i := 0; i < 12; i++ {
+		got = append(got, g.Next())
+	}
+	want := []int64{0, 1, 2, 3, 4, 0, 1, 2, 3, 4, 0, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sequential sequence %v", got)
+		}
+	}
+}
+
+func TestLatestSkewsToRecent(t *testing.T) {
+	g := NewKeyGen(Latest, 100000, 0.99, 4)
+	g.RecordInsert(50000)
+	high, total := 0, 20000
+	for i := 0; i < total; i++ {
+		k := g.Next()
+		if k > 45000 {
+			high++
+		}
+	}
+	if float64(high)/float64(total) < 0.5 {
+		t.Errorf("latest distribution not skewed to recent: %.3f near max", float64(high)/float64(total))
+	}
+}
+
+func TestScrambleKeyInRangeAndSpread(t *testing.T) {
+	n := int64(1000)
+	seen := map[int64]bool{}
+	for i := int64(0); i < 100; i++ {
+		s := ScrambleKey(i, n)
+		if s < 0 || s >= n {
+			t.Fatalf("scrambled key %d out of range", s)
+		}
+		seen[s] = true
+	}
+	if len(seen) < 90 {
+		t.Errorf("scramble collides too much: %d distinct of 100", len(seen))
+	}
+}
+
+func TestGeneratorMixFractions(t *testing.T) {
+	mix := Mix{Read: 0.6, Update: 0.2, Scan: 0.1, Insert: 0.1, ScanLen: 50}
+	g := NewGenerator(mix, Uniform, 1000, 0, 5)
+	counts := map[OpKind]int{}
+	const ops = 50000
+	for i := 0; i < ops; i++ {
+		op := g.Next()
+		counts[op.Kind]++
+		if op.Kind == OpScan && op.ScanLen != 50 {
+			t.Fatalf("scan len %d", op.ScanLen)
+		}
+	}
+	check := func(kind OpKind, want float64) {
+		got := float64(counts[kind]) / ops
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("%v fraction %.3f want %.2f", kind, got, want)
+		}
+	}
+	check(OpRead, 0.6)
+	check(OpUpdate, 0.2)
+	check(OpScan, 0.1)
+	check(OpInsert, 0.1)
+}
+
+func TestGeneratorInsertsGetFreshKeys(t *testing.T) {
+	g := NewGenerator(Mix{Insert: 1}, Uniform, 100, 0, 6)
+	seen := map[int64]bool{}
+	for i := 0; i < 100; i++ {
+		op := g.Next()
+		if op.Kind != OpInsert {
+			t.Fatalf("expected insert, got %v", op.Kind)
+		}
+		if op.Key < 100 {
+			t.Fatalf("insert key %d collides with preload space", op.Key)
+		}
+		if seen[op.Key] {
+			t.Fatalf("duplicate insert key %d", op.Key)
+		}
+		seen[op.Key] = true
+	}
+}
+
+func TestCanonicalMixesNormalized(t *testing.T) {
+	for name, m := range map[string]Mix{
+		"A": MixA, "B": MixB, "C": MixC, "D": MixD, "E": MixE, "F": MixF,
+	} {
+		sum := m.Insert + m.Update + m.Read + m.ReadAbsent + m.Scan + m.Delete
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("mix %s sums to %f", name, sum)
+		}
+	}
+}
+
+func BenchmarkZipfianNext(b *testing.B) {
+	g := NewKeyGen(Zipfian, 10_000_000, 0.99, 1) // zeta precompute is O(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}

@@ -1,0 +1,433 @@
+// Package lsmkv is a log-structured merge-tree storage engine whose
+// configuration surface is the LSM design space surveyed in "The LSM
+// Design Space and its Read Optimizations" (Sarkar, Dayan, Athanassoulis,
+// ICDE 2023). Every read optimization the tutorial covers is a switch on
+// Options: point filters (Bloom, blocked Bloom, cuckoo, ribbon) with
+// Monkey allocation, range filters (prefix Bloom, SuRF, Rosetta, SNARF),
+// fence pointers with optional learned indexes, block caching with
+// compaction-aware prefetch, data-block hash indexes, tiered/leveled/
+// lazy-leveled/hybrid layouts, partial compaction policies, and
+// WiscKey-style key-value separation.
+//
+// Quick start:
+//
+//	db, err := lsmkv.Open("/data/mydb", lsmkv.ReadOptimized())
+//	if err != nil { ... }
+//	defer db.Close()
+//	db.Put([]byte("k"), []byte("v"))
+//	v, err := db.Get([]byte("k"))
+package lsmkv
+
+import (
+	"errors"
+
+	"lsmkv/internal/cache"
+	"lsmkv/internal/compaction"
+	"lsmkv/internal/core"
+	"lsmkv/internal/filter"
+	"lsmkv/internal/iostat"
+	"lsmkv/internal/rangefilter"
+	"lsmkv/internal/sstable"
+)
+
+// ErrNotFound is returned by Get when no visible version of a key exists.
+var ErrNotFound = core.ErrNotFound
+
+// ErrClosed is returned by operations on a closed database.
+var ErrClosed = core.ErrClosed
+
+// Layout names the data layout of the tree (tutorial Module I).
+type Layout string
+
+const (
+	// Leveled keeps one sorted run per level (RocksDB default): best
+	// reads, most write amplification.
+	Leveled Layout = "leveled"
+	// Tiered allows T-1 runs per level (Cassandra STCS): best writes,
+	// most runs to probe.
+	Tiered Layout = "tiered"
+	// LazyLeveled tiers the inner levels and levels the last one
+	// (Dostoevsky): point-read cost close to leveled at near-tiered
+	// write cost.
+	LazyLeveled Layout = "lazy"
+)
+
+// FilterKind names the point-filter structure (Module II-i).
+type FilterKind = filter.FilterKind
+
+// Point-filter kinds.
+const (
+	FilterNone         = filter.KindNone
+	FilterBloom        = filter.KindBloom
+	FilterBlockedBloom = filter.KindBlockedBloom
+	FilterCuckoo       = filter.KindCuckoo
+	FilterRibbon       = filter.KindRibbon
+)
+
+// RangeFilterKind names the range-filter structure (Module II-ii).
+type RangeFilterKind = rangefilter.Kind
+
+// Range-filter kinds.
+const (
+	RangeFilterNone    = rangefilter.KindNone
+	RangeFilterPrefix  = rangefilter.KindPrefix
+	RangeFilterSuRF    = rangefilter.KindSuRF
+	RangeFilterRosetta = rangefilter.KindRosetta
+	RangeFilterSNARF   = rangefilter.KindSNARF
+)
+
+// LearnedIndexKind names the learned fence-pointer model (Module II-iv).
+type LearnedIndexKind = sstable.LearnedKind
+
+// Learned index kinds.
+const (
+	LearnedNone        = sstable.LearnedNone
+	LearnedPLR         = sstable.LearnedPLR
+	LearnedRadixSpline = sstable.LearnedRadixSpline
+)
+
+// FilePicking names the partial-compaction data movement policy.
+type FilePicking = compaction.FilePicker
+
+// File-picking policies for partial compaction.
+const (
+	PickRoundRobin     = compaction.PickRoundRobin
+	PickMinOverlap     = compaction.PickMinOverlap
+	PickMostTombstones = compaction.PickMostTombstones
+	PickOldest         = compaction.PickOldest
+)
+
+// Options selects a point in the LSM design space. The zero value (plus a
+// directory) is a sensible leveled engine; the preset constructors below
+// give named starting points.
+type Options struct {
+	// Layout selects the data layout. Default Leveled.
+	Layout Layout
+	// SizeRatio is the growth factor T between levels. Default 10.
+	SizeRatio int
+	// HybridK and HybridZ, when both positive, override Layout with an
+	// explicit point on the Dostoevsky continuum: up to K runs in inner
+	// levels and Z runs in the last level (1 <= K,Z <= SizeRatio-1).
+	// Leveling is (1,1), tiering (T-1,T-1), lazy leveling (T-1,1).
+	HybridK int
+	HybridZ int
+	// MemtableBytes is the write-buffer capacity. Default 4 MiB.
+	MemtableBytes int64
+	// TwoLevelMemtable enables the FloDB-style hash front buffer.
+	TwoLevelMemtable bool
+	// DisableWAL trades durability for ingest throughput.
+	DisableWAL bool
+	// SyncWAL fsyncs on every write.
+	SyncWAL bool
+
+	// PartialCompaction moves one file at a time (leveled layout only).
+	PartialCompaction bool
+	// FilePicking selects which file partial compaction moves.
+	FilePicking FilePicking
+	// MaxLevels bounds tree depth. Default 7.
+	MaxLevels int
+
+	// Filter selects the point-filter structure. Default FilterBloom.
+	Filter FilterKind
+	// BitsPerKey is the average filter budget. Default 10.
+	BitsPerKey float64
+	// MonkeyFilters redistributes filter memory optimally across levels.
+	MonkeyFilters bool
+	// PartitionedFilters builds one filter partition per data block.
+	PartitionedFilters bool
+
+	// RangeFilter selects the range-filter structure. Default none.
+	RangeFilter RangeFilterKind
+	// RangeFilterBitsPerKey budgets Bloom-backed range filters. Default 16.
+	RangeFilterBitsPerKey float64
+	// PrefixLength is the prefix length for RangeFilterPrefix. Default 8.
+	PrefixLength int
+
+	// BlockSize is the data-block size. Default 4096.
+	BlockSize int
+	// BlockHashIndex accelerates in-block point lookups.
+	BlockHashIndex bool
+	// LearnedIndex stores and uses a learned model over fences.
+	LearnedIndex LearnedIndexKind
+
+	// CacheBytes is the block-cache capacity. Default 8 MiB; 0 disables.
+	CacheBytes int64
+	// CacheClock selects CLOCK replacement instead of LRU.
+	CacheClock bool
+	// PrefetchAfterCompaction re-warms the cache after compactions.
+	PrefetchAfterCompaction bool
+
+	// ValueSeparation stores large values in a value log (WiscKey).
+	ValueSeparation bool
+	// ValueThreshold is the minimum separated value size. Default 1024.
+	ValueThreshold int
+	// VlogSegmentBytes bounds value-log segment size (the GC unit).
+	// Default 64 MiB.
+	VlogSegmentBytes uint64
+
+	// CompactionMaxBytesPerSec throttles compaction output, smoothing
+	// foreground latency at the cost of slower maintenance. 0 disables.
+	CompactionMaxBytesPerSec int64
+
+	// Stats, when non-nil, receives I/O accounting shared with the
+	// caller; otherwise the DB keeps a private instance.
+	Stats *iostat.Stats
+	// Logf receives engine event logs when set.
+	Logf func(format string, args ...any)
+
+	// cacheBytesSet distinguishes "explicitly 0" from "unset" when the
+	// struct is built by presets.
+	cacheBytesSet bool
+	// filterDisabled distinguishes "explicitly no filter" from the zero
+	// value (which selects the default Bloom filter).
+	filterDisabled bool
+}
+
+// DisableCache explicitly turns the block cache off (distinct from
+// leaving CacheBytes zero, which selects the default size).
+func (o *Options) DisableCache() *Options {
+	o.CacheBytes = 0
+	o.cacheBytesSet = true
+	return o
+}
+
+// DisableFilters explicitly turns point filters off (distinct from
+// leaving Filter zero, which selects Bloom filters).
+func (o *Options) DisableFilters() *Options {
+	o.Filter = FilterNone
+	o.filterDisabled = true
+	return o
+}
+
+// Default returns the baseline design: leveled, T=10, Bloom filters at
+// 10 bits/key, 8 MiB LRU cache — the RocksDB-flavored point in the space.
+func Default() *Options { return &Options{} }
+
+// ReadOptimized returns a design tuned for point and range reads: leveled
+// layout, Monkey-allocated partitioned Bloom filters, block hash indexes,
+// SuRF range filters, learned fence pointers, larger cache with
+// compaction-aware prefetch.
+func ReadOptimized() *Options {
+	return &Options{
+		Layout:                  Leveled,
+		MonkeyFilters:           true,
+		PartitionedFilters:      true,
+		BlockHashIndex:          true,
+		RangeFilter:             RangeFilterSuRF,
+		LearnedIndex:            LearnedPLR,
+		CacheBytes:              32 << 20,
+		PrefetchAfterCompaction: true,
+	}
+}
+
+// WriteOptimized returns a design tuned for ingestion: tiered layout,
+// modest filters, no WAL syncing.
+func WriteOptimized() *Options {
+	return &Options{
+		Layout:     Tiered,
+		SizeRatio:  4,
+		BitsPerKey: 5,
+	}
+}
+
+// Balanced returns the Dostoevsky-style lazy-leveled middle ground.
+func Balanced() *Options {
+	return &Options{Layout: LazyLeveled, SizeRatio: 6, MonkeyFilters: true}
+}
+
+// WiscKey returns a key-value-separated design for large values.
+func WiscKey() *Options {
+	return &Options{
+		ValueSeparation: true,
+		ValueThreshold:  512,
+	}
+}
+
+// toCore maps public options to the engine configuration.
+func (o *Options) toCore(dir string) (core.Options, error) {
+	if o == nil {
+		o = Default()
+	}
+	t := o.SizeRatio
+	if t < 2 {
+		t = 10
+	}
+	k, z := 1, 1
+	switch o.Layout {
+	case "", Leveled:
+	case Tiered:
+		k, z = t-1, t-1
+	case LazyLeveled:
+		k, z = t-1, 1
+	default:
+		return core.Options{}, errors.New("lsmkv: unknown layout " + string(o.Layout))
+	}
+	if o.HybridK > 0 && o.HybridZ > 0 {
+		k, z = o.HybridK, o.HybridZ
+	}
+	gran := compaction.WholeLevel
+	if o.PartialCompaction {
+		if k != 1 {
+			return core.Options{}, errors.New("lsmkv: partial compaction requires the leveled layout")
+		}
+		gran = compaction.SingleFile
+	}
+	bits := o.BitsPerKey
+	if bits <= 0 {
+		bits = 10
+	}
+	fk := o.Filter
+	if fk == FilterNone {
+		if o.filterDisabled {
+			fk = FilterNone
+		} else {
+			fk = FilterBloom
+		}
+	}
+	rfBits := o.RangeFilterBitsPerKey
+	if rfBits <= 0 {
+		rfBits = 16
+	}
+	prefixLen := o.PrefixLength
+	if prefixLen <= 0 {
+		prefixLen = 8
+	}
+	cacheBytes := o.CacheBytes
+	if cacheBytes == 0 && !o.cacheBytesSet {
+		cacheBytes = 8 << 20
+	}
+	cachePolicy := cache.LRU
+	if o.CacheClock {
+		cachePolicy = cache.Clock
+	}
+	return core.Options{
+		Dir:              dir,
+		MemtableBytes:    o.MemtableBytes,
+		TwoLevelMemtable: o.TwoLevelMemtable,
+		DisableWAL:       o.DisableWAL,
+		WALSync:          o.SyncWAL,
+		Shape: compaction.Shape{
+			SizeRatio:   t,
+			K:           k,
+			Z:           z,
+			Granularity: gran,
+			Picker:      o.FilePicking,
+			MaxLevels:   o.MaxLevels,
+		},
+		BlockSize:         o.BlockSize,
+		FilterPolicy:      filter.Policy{Kind: fk, BitsPerKey: bits},
+		FilterPartitioned: o.PartitionedFilters,
+		MonkeyFilters:     o.MonkeyFilters,
+		RangeFilter: rangefilter.Policy{
+			Kind:            o.RangeFilter,
+			BitsPerKey:      rfBits,
+			PrefixLen:       prefixLen,
+			SuRFMode:        rangefilter.SuRFReal,
+			SuRFSuffixBytes: 2,
+		},
+		BlockHashIndex:           o.BlockHashIndex,
+		LearnedIndex:             o.LearnedIndex,
+		CacheBytes:               cacheBytes,
+		CachePolicy:              cachePolicy,
+		PrefetchAfterCompaction:  o.PrefetchAfterCompaction,
+		ValueSeparation:          o.ValueSeparation,
+		ValueThreshold:           o.ValueThreshold,
+		VlogSegmentBytes:         o.VlogSegmentBytes,
+		CompactionMaxBytesPerSec: o.CompactionMaxBytesPerSec,
+		Stats:                    o.Stats,
+		Logf:                     o.Logf,
+	}, nil
+}
+
+// DB is a handle to an open database. It is safe for concurrent use.
+type DB struct {
+	inner *core.DB
+}
+
+// Open creates or reopens the database at dir with the given design.
+// A nil opts selects Default().
+func Open(dir string, opts *Options) (*DB, error) {
+	copts, err := optsOrDefault(opts).toCore(dir)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := core.Open(copts)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{inner: inner}, nil
+}
+
+func optsOrDefault(o *Options) *Options {
+	if o == nil {
+		return Default()
+	}
+	return o
+}
+
+// Put stores key -> value, overwriting any previous version.
+func (db *DB) Put(key, value []byte) error { return db.inner.Put(key, value) }
+
+// Get returns the newest value of key, or ErrNotFound.
+func (db *DB) Get(key []byte) ([]byte, error) { return db.inner.Get(key) }
+
+// Delete removes key.
+func (db *DB) Delete(key []byte) error { return db.inner.Delete(key) }
+
+// Scan calls fn for every key in [lo, hi] (inclusive), ascending, until
+// fn returns false.
+func (db *DB) Scan(lo, hi []byte, fn func(key, value []byte) bool) error {
+	return db.inner.Scan(lo, hi, fn)
+}
+
+// Snapshot pins a consistent point-in-time view.
+type Snapshot struct{ inner *core.Snapshot }
+
+// NewSnapshot captures the current state; callers must Release it.
+func (db *DB) NewSnapshot() *Snapshot {
+	return &Snapshot{inner: db.inner.NewSnapshot()}
+}
+
+// Get reads key at the snapshot.
+func (s *Snapshot) Get(key []byte) ([]byte, error) { return s.inner.Get(key) }
+
+// Scan iterates the snapshot like DB.Scan.
+func (s *Snapshot) Scan(lo, hi []byte, fn func(key, value []byte) bool) error {
+	return s.inner.Scan(lo, hi, fn)
+}
+
+// Release unpins the snapshot.
+func (s *Snapshot) Release() { s.inner.Release() }
+
+// Flush forces the write buffer to storage.
+func (db *DB) Flush() error { return db.inner.Flush() }
+
+// Compact blocks until no flush or compaction work remains.
+func (db *DB) Compact() error { return db.inner.WaitIdle() }
+
+// RunValueLogGC collects one value-log segment (key-value separation
+// only); reports whether a segment was reclaimed.
+func (db *DB) RunValueLogGC() (bool, error) { return db.inner.RunValueLogGC() }
+
+// Stats returns a snapshot of the engine's I/O counters.
+func (db *DB) Stats() iostat.Snapshot { return db.inner.Stats() }
+
+// LevelInfo describes one level of the tree.
+type LevelInfo = core.LevelInfo
+
+// Levels returns per-level structure information.
+func (db *DB) Levels() []LevelInfo { return db.inner.Levels() }
+
+// TotalRuns returns the number of sorted runs a worst-case point lookup
+// probes.
+func (db *DB) TotalRuns() int { return db.inner.TotalRuns() }
+
+// IndexMemory returns resident bytes of pinned fences, filters, and
+// learned models.
+func (db *DB) IndexMemory() int { return db.inner.IndexMemory() }
+
+// DebugString renders the tree shape.
+func (db *DB) DebugString() string { return db.inner.DebugString() }
+
+// Close flushes and shuts down the engine.
+func (db *DB) Close() error { return db.inner.Close() }

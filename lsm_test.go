@@ -1,0 +1,193 @@
+package lsmkv
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"lsmkv/internal/iostat"
+)
+
+func TestPublicAPIBasics(t *testing.T) {
+	db, err := Open(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Put([]byte("hello"), []byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := db.Get([]byte("hello"))
+	if err != nil || string(v) != "world" {
+		t.Fatalf("Get: %q %v", v, err)
+	}
+	if _, err := db.Get([]byte("missing")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing key: %v", err)
+	}
+	if err := db.Delete([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Get([]byte("hello")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deleted key: %v", err)
+	}
+}
+
+func TestPresetsOpenAndWork(t *testing.T) {
+	presets := map[string]*Options{
+		"default":         Default(),
+		"read-optimized":  ReadOptimized(),
+		"write-optimized": WriteOptimized(),
+		"balanced":        Balanced(),
+		"wisckey":         WiscKey(),
+		"no-cache":        Default().DisableCache(),
+	}
+	for name, opts := range presets {
+		t.Run(name, func(t *testing.T) {
+			opts.MemtableBytes = 16 << 10 // force flushes at test scale
+			db, err := Open(t.TempDir(), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+			const n = 2000
+			for i := 0; i < n; i++ {
+				k := []byte(fmt.Sprintf("key%06d", i))
+				if err := db.Put(k, bytes.Repeat([]byte{byte(i)}, 64)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := db.Compact(); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < n; i += 37 {
+				k := []byte(fmt.Sprintf("key%06d", i))
+				v, err := db.Get(k)
+				if err != nil || len(v) != 64 {
+					t.Fatalf("Get(%s): %v len=%d", k, err, len(v))
+				}
+			}
+			count := 0
+			db.Scan([]byte("key"), []byte("kez"), func(k, v []byte) bool {
+				count++
+				return true
+			})
+			if count != n {
+				t.Fatalf("scan saw %d keys want %d", count, n)
+			}
+			if db.TotalRuns() == 0 && db.Levels() == nil {
+				t.Error("metrics empty after load")
+			}
+		})
+	}
+}
+
+func TestPublicSnapshot(t *testing.T) {
+	db, err := Open(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	db.Put([]byte("k"), []byte("v1"))
+	snap := db.NewSnapshot()
+	defer snap.Release()
+	db.Put([]byte("k"), []byte("v2"))
+	v, err := snap.Get([]byte("k"))
+	if err != nil || string(v) != "v1" {
+		t.Fatalf("snapshot Get: %q %v", v, err)
+	}
+	n := 0
+	snap.Scan([]byte("a"), []byte("z"), func(k, v []byte) bool {
+		if string(v) != "v1" {
+			t.Errorf("snapshot scan saw %q", v)
+		}
+		n++
+		return true
+	})
+	if n != 1 {
+		t.Errorf("snapshot scan count %d", n)
+	}
+}
+
+func TestInvalidOptions(t *testing.T) {
+	if _, err := Open(t.TempDir(), &Options{Layout: "bogus"}); err == nil {
+		t.Error("bogus layout accepted")
+	}
+	if _, err := Open(t.TempDir(), &Options{Layout: Tiered, PartialCompaction: true}); err == nil {
+		t.Error("partial compaction with tiered layout accepted")
+	}
+}
+
+func TestStatsExposed(t *testing.T) {
+	opts := Default()
+	opts.MemtableBytes = 8 << 10
+	db, err := Open(t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for i := 0; i < 1000; i++ {
+		db.Put([]byte(fmt.Sprintf("k%06d", i)), bytes.Repeat([]byte("v"), 64))
+	}
+	db.Compact()
+	for i := 0; i < 100; i++ {
+		db.Get([]byte(fmt.Sprintf("k%06d", i)))
+	}
+	s := db.Stats()
+	if s.PointLookups != 100 || s.Flushes == 0 || s.BytesFlushed == 0 {
+		t.Errorf("stats implausible: %+v", s)
+	}
+}
+
+func TestHybridKZFacade(t *testing.T) {
+	opts := &Options{SizeRatio: 6, HybridK: 3, HybridZ: 2, MemtableBytes: 16 << 10}
+	db, err := Open(t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for i := 0; i < 3000; i++ {
+		db.Put([]byte(fmt.Sprintf("key%06d", i)), bytes.Repeat([]byte{byte(i)}, 64))
+	}
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3000; i += 101 {
+		if _, err := db.Get([]byte(fmt.Sprintf("key%06d", i))); err != nil {
+			t.Fatalf("Get(%d): %v", i, err)
+		}
+	}
+}
+
+func TestSharedStatsHandle(t *testing.T) {
+	stats := &iostat.Stats{}
+	opts := Default()
+	opts.Stats = stats
+	db, err := Open(t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	db.Put([]byte("k"), []byte("v"))
+	db.Get([]byte("k"))
+	if stats.PointLookups.Load() != 1 {
+		t.Errorf("caller-provided stats not wired: %d", stats.PointLookups.Load())
+	}
+}
+
+func TestThrottleFacade(t *testing.T) {
+	opts := Default()
+	opts.CompactionMaxBytesPerSec = 1 << 30 // effectively unlimited: just exercise plumbing
+	opts.MemtableBytes = 16 << 10
+	db, err := Open(t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for i := 0; i < 2000; i++ {
+		db.Put([]byte(fmt.Sprintf("key%06d", i)), bytes.Repeat([]byte("v"), 64))
+	}
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+}

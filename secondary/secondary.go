@@ -1,0 +1,344 @@
+// Package secondary implements secondary indexing over an lsmkv database
+// — the "reads on non-key attributes" direction of the tutorial's Module
+// II-iv (Diff-Index, DELI, and the AsterixDB line of work). Index entries
+// are composite keys in a reserved keyspace of the same tree, so they
+// inherit the LSM's write path, compaction, and crash recovery.
+//
+// Two maintenance modes mirror the literature's tradeoff:
+//
+//   - Sync: every Put updates the index in line with the primary write
+//     (consistent reads, higher write cost — Diff-Index "sync-full").
+//   - Deferred: index updates buffer in memory and apply in batches;
+//     lookups validate candidates against the primary record, so stale
+//     entries are filtered instead of prevented (DELI-style lazy
+//     maintenance: cheaper writes, lookup-time validation).
+package secondary
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+
+	"lsmkv"
+)
+
+// Mode selects index maintenance strategy.
+type Mode int
+
+const (
+	// Sync maintains the index inside every Put/Delete.
+	Sync Mode = iota
+	// Deferred buffers index maintenance and applies it in batches.
+	Deferred
+)
+
+func (m Mode) String() string {
+	if m == Deferred {
+		return "deferred"
+	}
+	return "sync"
+}
+
+// Extractor derives the secondary attribute values of a record. Returning
+// zero values indexes nothing for the record.
+type Extractor func(key, value []byte) [][]byte
+
+// ErrClosed mirrors the underlying database error.
+var ErrClosed = lsmkv.ErrClosed
+
+// Index maintains one secondary index over a database. All writes to the
+// indexed keyspace must go through the Index (Put/Delete); reads of the
+// primary keyspace are unrestricted. Safe for concurrent use.
+type Index struct {
+	db      *lsmkv.DB
+	name    []byte
+	extract Extractor
+	mode    Mode
+
+	mu      sync.Mutex
+	pending []pendingOp // Deferred mode: buffered index maintenance
+	maxPend int
+}
+
+type pendingOp struct {
+	attr []byte
+	pkey []byte
+	del  bool
+}
+
+// New creates (or reattaches to) the named index. The extractor must be
+// deterministic: validation re-extracts attributes from current records.
+func New(db *lsmkv.DB, name string, extract Extractor, mode Mode) *Index {
+	return &Index{
+		db:      db,
+		name:    []byte(name),
+		extract: extract,
+		mode:    mode,
+		maxPend: 1024,
+	}
+}
+
+// Key framing: index entries live at
+//
+//	0x00 'i' <name> 0x00 <escaped attr> 0x00 <escaped pkey>
+//
+// with 0x00 bytes inside attr/pkey escaped as 0x00 0x01 so the separators
+// frame unambiguously and attr order is preserved. The 0x00 prefix keeps
+// the index keyspace disjoint from any printable primary keyspace.
+
+func escape(dst, s []byte) []byte {
+	for _, c := range s {
+		if c == 0x00 {
+			dst = append(dst, 0x00, 0x01)
+		} else {
+			dst = append(dst, c)
+		}
+	}
+	return dst
+}
+
+func unescape(s []byte) ([]byte, error) {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] == 0x00 {
+			if i+1 >= len(s) || s[i+1] != 0x01 {
+				return nil, errors.New("secondary: bad escape")
+			}
+			out = append(out, 0x00)
+			i++
+			continue
+		}
+		out = append(out, s[i])
+	}
+	return out, nil
+}
+
+func (ix *Index) entryKey(attr, pkey []byte) []byte {
+	k := make([]byte, 0, 4+len(ix.name)+len(attr)+len(pkey)+4)
+	k = append(k, 0x00, 'i')
+	k = append(k, ix.name...)
+	k = append(k, 0x00)
+	k = escape(k, attr)
+	k = append(k, 0x00)
+	k = escape(k, pkey)
+	return k
+}
+
+// attrPrefix returns the key prefix covering every entry for attr.
+func (ix *Index) attrPrefix(attr []byte) []byte {
+	k := make([]byte, 0, 4+len(ix.name)+len(attr)+2)
+	k = append(k, 0x00, 'i')
+	k = append(k, ix.name...)
+	k = append(k, 0x00)
+	k = escape(k, attr)
+	k = append(k, 0x00)
+	return k
+}
+
+// parseEntry splits an index entry key back into (attr, pkey).
+func (ix *Index) parseEntry(k []byte) (attr, pkey []byte, err error) {
+	head := len(ix.name) + 3 // 0x00 'i' name 0x00
+	if len(k) < head {
+		return nil, nil, errors.New("secondary: short entry")
+	}
+	rest := k[head:]
+	// Find the unescaped separator: a 0x00 not followed by 0x01.
+	sep := -1
+	for i := 0; i < len(rest); i++ {
+		if rest[i] == 0x00 {
+			if i+1 < len(rest) && rest[i+1] == 0x01 {
+				i++
+				continue
+			}
+			sep = i
+			break
+		}
+	}
+	if sep < 0 {
+		return nil, nil, errors.New("secondary: unframed entry")
+	}
+	if attr, err = unescape(rest[:sep]); err != nil {
+		return nil, nil, err
+	}
+	if pkey, err = unescape(rest[sep+1:]); err != nil {
+		return nil, nil, err
+	}
+	return attr, pkey, nil
+}
+
+// Put writes the primary record and maintains the index per the mode.
+func (ix *Index) Put(key, value []byte) error {
+	// Old attribute values must be unindexed: read the previous record.
+	oldAttrs, err := ix.currentAttrs(key)
+	if err != nil {
+		return err
+	}
+	if err := ix.db.Put(key, value); err != nil {
+		return err
+	}
+	newAttrs := ix.extract(key, value)
+	return ix.applyDiff(key, oldAttrs, newAttrs)
+}
+
+// Delete removes the primary record and its index entries.
+func (ix *Index) Delete(key []byte) error {
+	oldAttrs, err := ix.currentAttrs(key)
+	if err != nil {
+		return err
+	}
+	if err := ix.db.Delete(key); err != nil {
+		return err
+	}
+	return ix.applyDiff(key, oldAttrs, nil)
+}
+
+func (ix *Index) currentAttrs(key []byte) ([][]byte, error) {
+	v, err := ix.db.Get(key)
+	if errors.Is(err, lsmkv.ErrNotFound) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return ix.extract(key, v), nil
+}
+
+// applyDiff records the index mutations implied by an attribute change.
+func (ix *Index) applyDiff(pkey []byte, old, new [][]byte) error {
+	ops := diffOps(pkey, old, new)
+	if len(ops) == 0 {
+		return nil
+	}
+	if ix.mode == Sync {
+		return ix.applyOps(ops)
+	}
+	ix.mu.Lock()
+	ix.pending = append(ix.pending, ops...)
+	flush := len(ix.pending) >= ix.maxPend
+	ix.mu.Unlock()
+	if flush {
+		return ix.ApplyPending()
+	}
+	return nil
+}
+
+func diffOps(pkey []byte, old, new [][]byte) []pendingOp {
+	oldSet := map[string]bool{}
+	for _, a := range old {
+		oldSet[string(a)] = true
+	}
+	newSet := map[string]bool{}
+	for _, a := range new {
+		newSet[string(a)] = true
+	}
+	var ops []pendingOp
+	for a := range oldSet {
+		if !newSet[a] {
+			ops = append(ops, pendingOp{attr: []byte(a), pkey: append([]byte(nil), pkey...), del: true})
+		}
+	}
+	for a := range newSet {
+		if !oldSet[a] {
+			ops = append(ops, pendingOp{attr: []byte(a), pkey: append([]byte(nil), pkey...)})
+		}
+	}
+	return ops
+}
+
+func (ix *Index) applyOps(ops []pendingOp) error {
+	for _, op := range ops {
+		ek := ix.entryKey(op.attr, op.pkey)
+		var err error
+		if op.del {
+			err = ix.db.Delete(ek)
+		} else {
+			err = ix.db.Put(ek, nil)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ApplyPending flushes deferred index maintenance. No-op in Sync mode.
+func (ix *Index) ApplyPending() error {
+	ix.mu.Lock()
+	ops := ix.pending
+	ix.pending = nil
+	ix.mu.Unlock()
+	return ix.applyOps(ops)
+}
+
+// PendingOps returns the number of buffered index mutations.
+func (ix *Index) PendingOps() int {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return len(ix.pending)
+}
+
+// Lookup returns the primary keys whose records currently carry the
+// attribute value, in key order. Under Deferred mode, entries not yet
+// applied are merged in and stale entries are filtered by validating each
+// candidate against its current primary record.
+func (ix *Index) Lookup(attr []byte) ([][]byte, error) {
+	candidates := map[string]bool{}
+	prefix := ix.attrPrefix(attr)
+	hi := append(append([]byte(nil), prefix...), 0xff, 0xff, 0xff, 0xff)
+	err := ix.db.Scan(prefix, hi, func(k, _ []byte) bool {
+		_, pkey, perr := ix.parseEntry(k)
+		if perr == nil {
+			candidates[string(pkey)] = true
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Merge unapplied deferred ops (newest wins per (attr, pkey)).
+	ix.mu.Lock()
+	for _, op := range ix.pending {
+		if bytes.Equal(op.attr, attr) {
+			candidates[string(op.pkey)] = !op.del
+			if op.del {
+				delete(candidates, string(op.pkey))
+			}
+		}
+	}
+	ix.mu.Unlock()
+
+	var out [][]byte
+	for pk := range candidates {
+		// Validate: the record must still carry the attribute (deferred
+		// mode tolerates stale entries; validation makes reads correct).
+		v, err := ix.db.Get([]byte(pk))
+		if errors.Is(err, lsmkv.ErrNotFound) {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range ix.extract([]byte(pk), v) {
+			if bytes.Equal(a, attr) {
+				out = append(out, []byte(pk))
+				break
+			}
+		}
+	}
+	sortBytes(out)
+	return out, nil
+}
+
+func sortBytes(b [][]byte) {
+	for i := 1; i < len(b); i++ {
+		for j := i; j > 0 && bytes.Compare(b[j], b[j-1]) < 0; j-- {
+			b[j], b[j-1] = b[j-1], b[j]
+		}
+	}
+}
+
+// String describes the index.
+func (ix *Index) String() string {
+	return fmt.Sprintf("secondary(%s, %s)", ix.name, ix.mode)
+}

@@ -1,0 +1,244 @@
+package secondary
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"lsmkv"
+)
+
+// record encodes "city|name" values; the extractor indexes the city.
+func cityExtractor(key, value []byte) [][]byte {
+	parts := strings.SplitN(string(value), "|", 2)
+	if len(parts) == 0 || parts[0] == "" {
+		return nil
+	}
+	return [][]byte{[]byte(parts[0])}
+}
+
+func openIndexed(t *testing.T, mode Mode) (*lsmkv.DB, *Index) {
+	t.Helper()
+	opts := lsmkv.Default()
+	opts.MemtableBytes = 16 << 10
+	db, err := lsmkv.Open(t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db, New(db, "city", cityExtractor, mode)
+}
+
+func lookupStrings(t *testing.T, ix *Index, attr string) []string {
+	t.Helper()
+	got, err := ix.Lookup([]byte(attr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]string, len(got))
+	for i, k := range got {
+		out[i] = string(k)
+	}
+	return out
+}
+
+func TestLookupByAttribute(t *testing.T) {
+	for _, mode := range []Mode{Sync, Deferred} {
+		t.Run(mode.String(), func(t *testing.T) {
+			_, ix := openIndexed(t, mode)
+			ix.Put([]byte("user:1"), []byte("paris|ada"))
+			ix.Put([]byte("user:2"), []byte("tokyo|lin"))
+			ix.Put([]byte("user:3"), []byte("paris|bob"))
+
+			got := lookupStrings(t, ix, "paris")
+			want := []string{"user:1", "user:3"}
+			if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+				t.Fatalf("Lookup(paris)=%v want %v", got, want)
+			}
+			if got := lookupStrings(t, ix, "berlin"); len(got) != 0 {
+				t.Fatalf("Lookup(berlin)=%v want empty", got)
+			}
+		})
+	}
+}
+
+func TestAttributeUpdateMovesEntry(t *testing.T) {
+	for _, mode := range []Mode{Sync, Deferred} {
+		t.Run(mode.String(), func(t *testing.T) {
+			_, ix := openIndexed(t, mode)
+			ix.Put([]byte("user:1"), []byte("paris|ada"))
+			ix.Put([]byte("user:1"), []byte("tokyo|ada")) // moves city
+
+			if got := lookupStrings(t, ix, "paris"); len(got) != 0 {
+				t.Fatalf("stale paris entry visible: %v", got)
+			}
+			if got := lookupStrings(t, ix, "tokyo"); len(got) != 1 || got[0] != "user:1" {
+				t.Fatalf("Lookup(tokyo)=%v", got)
+			}
+		})
+	}
+}
+
+func TestDeleteRemovesFromIndex(t *testing.T) {
+	for _, mode := range []Mode{Sync, Deferred} {
+		t.Run(mode.String(), func(t *testing.T) {
+			_, ix := openIndexed(t, mode)
+			ix.Put([]byte("user:1"), []byte("paris|ada"))
+			ix.Delete([]byte("user:1"))
+			if got := lookupStrings(t, ix, "paris"); len(got) != 0 {
+				t.Fatalf("deleted record still indexed: %v", got)
+			}
+		})
+	}
+}
+
+func TestDeferredBuffersAndValidates(t *testing.T) {
+	_, ix := openIndexed(t, Deferred)
+	ix.Put([]byte("user:1"), []byte("paris|ada"))
+	if ix.PendingOps() == 0 {
+		t.Fatal("deferred mode applied eagerly")
+	}
+	// Lookup sees through the pending buffer.
+	if got := lookupStrings(t, ix, "paris"); len(got) != 1 {
+		t.Fatalf("pre-apply lookup: %v", got)
+	}
+	if err := ix.ApplyPending(); err != nil {
+		t.Fatal(err)
+	}
+	if ix.PendingOps() != 0 {
+		t.Fatal("pending not drained")
+	}
+	if got := lookupStrings(t, ix, "paris"); len(got) != 1 {
+		t.Fatalf("post-apply lookup: %v", got)
+	}
+}
+
+func TestDeferredStaleEntriesFiltered(t *testing.T) {
+	_, ix := openIndexed(t, Deferred)
+	ix.Put([]byte("user:1"), []byte("paris|ada"))
+	ix.ApplyPending() // index entry for paris now durable
+	// Update without applying: the durable paris entry is now stale.
+	ix.Put([]byte("user:1"), []byte("tokyo|ada"))
+	if got := lookupStrings(t, ix, "paris"); len(got) != 0 {
+		t.Fatalf("stale durable entry not validated away: %v", got)
+	}
+	if got := lookupStrings(t, ix, "tokyo"); len(got) != 1 {
+		t.Fatalf("new attribute not found: %v", got)
+	}
+}
+
+func TestBinaryAttrAndKeyFraming(t *testing.T) {
+	// Attribute values and keys containing 0x00 and 0xff must frame
+	// correctly through the escaping.
+	ext := func(key, value []byte) [][]byte {
+		if len(value) == 0 {
+			return nil
+		}
+		return [][]byte{value}
+	}
+	opts := lsmkv.Default()
+	db, err := lsmkv.Open(t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	ix := New(db, "bin", ext, Sync)
+
+	key := []byte{'k', 0x00, 0xff, 'k'}
+	attr := []byte{0x00, 0x01, 0xff, 0x00}
+	if err := ix.Put(key, attr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ix.Lookup(attr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || !bytes.Equal(got[0], key) {
+		t.Fatalf("binary round trip failed: %q", got)
+	}
+	// A sibling attribute differing only in escape-sensitive bytes must
+	// not match.
+	other := []byte{0x00, 0x01, 0xff, 0x01}
+	if got, _ := ix.Lookup(other); len(got) != 0 {
+		t.Fatalf("framing collision: %q", got)
+	}
+}
+
+func TestMultiValuedExtractor(t *testing.T) {
+	ext := func(key, value []byte) [][]byte {
+		var out [][]byte
+		for _, tag := range strings.Split(string(value), ",") {
+			if tag != "" {
+				out = append(out, []byte(tag))
+			}
+		}
+		return out
+	}
+	db, err := lsmkv.Open(t.TempDir(), lsmkv.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	ix := New(db, "tags", ext, Sync)
+	ix.Put([]byte("post:1"), []byte("go,db"))
+	ix.Put([]byte("post:2"), []byte("db"))
+
+	if got, _ := ix.Lookup([]byte("db")); len(got) != 2 {
+		t.Fatalf("Lookup(db): %d hits", len(got))
+	}
+	if got, _ := ix.Lookup([]byte("go")); len(got) != 1 {
+		t.Fatalf("Lookup(go): %d hits", len(got))
+	}
+	// Dropping one tag removes only that entry.
+	ix.Put([]byte("post:1"), []byte("go"))
+	if got, _ := ix.Lookup([]byte("db")); len(got) != 1 {
+		t.Fatalf("Lookup(db) after retag: %d hits", len(got))
+	}
+}
+
+func TestIndexSurvivesFlushAndCompaction(t *testing.T) {
+	opts := lsmkv.Default()
+	opts.MemtableBytes = 8 << 10
+	db, err := lsmkv.Open(t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	ix := New(db, "city", cityExtractor, Sync)
+	for i := 0; i < 2000; i++ {
+		city := fmt.Sprintf("city%02d", i%10)
+		if err := ix.Put([]byte(fmt.Sprintf("user:%05d", i)), []byte(city+"|x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ix.Lookup([]byte("city03"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 200 {
+		t.Fatalf("Lookup(city03): %d hits want 200", len(got))
+	}
+}
+
+func TestIndexKeyspaceDisjointFromPrimary(t *testing.T) {
+	db, err := lsmkv.Open(t.TempDir(), lsmkv.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	ix := New(db, "city", cityExtractor, Sync)
+	ix.Put([]byte("user:1"), []byte("paris|ada"))
+	// Scanning the primary keyspace must not surface index entries.
+	count := 0
+	db.Scan([]byte("a"), []byte("z"), func(k, v []byte) bool {
+		count++
+		return true
+	})
+	if count != 1 {
+		t.Fatalf("primary scan saw %d keys want 1 (index leaked?)", count)
+	}
+}
