@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench experiments examples fuzz clean
+.PHONY: all build test race crash bench experiments examples fuzz clean
 
 all: build test
 
@@ -12,10 +12,19 @@ build:
 	$(GO) vet ./...
 
 test:
+	$(GO) vet ./...
 	$(GO) test ./...
+	$(MAKE) crash
 
 race:
-	$(GO) test -race ./internal/core/ ./internal/cache/ ./internal/memtable/ .
+	$(GO) test -race ./...
+
+# Crash-recovery property tests at full depth: each seeded iteration
+# writes a workload, severs the filesystem at a random operation, reopens
+# on the surviving (optionally torn) image, and checks the durability
+# invariant against the issued history.
+crash:
+	$(GO) test ./internal/core/ -run 'TestCrash' -count=1 -crash.iters=100
 
 # One testing.B bench per experiment (E1-E13) plus per-package microbenches.
 bench:
@@ -34,6 +43,7 @@ examples:
 fuzz:
 	$(GO) test ./internal/sstable/ -fuzz FuzzDecodeBlock -fuzztime 30s
 	$(GO) test ./internal/sstable/ -fuzz FuzzOpenReader -fuzztime 30s
+	$(GO) test ./internal/wal/ -fuzz FuzzWALReplay -fuzztime 30s
 
 clean:
 	rm -f lsmbench

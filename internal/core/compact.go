@@ -3,7 +3,6 @@ package core
 import (
 	"bytes"
 	"fmt"
-	"os"
 	"time"
 
 	"lsmkv/internal/compaction"
@@ -57,7 +56,7 @@ func (db *DB) buildTable(it kv.Iterator, wopts sstable.WriterOptions, maxBytes u
 	db.mu.Unlock()
 
 	path := db.tablePath(num)
-	f, err := os.Create(path)
+	f, err := db.opts.FS.Create(path)
 	if err != nil {
 		return nil, false, err
 	}
@@ -78,7 +77,7 @@ func (db *DB) buildTable(it kv.Iterator, wopts sstable.WriterOptions, maxBytes u
 		if discard == nil || !discard(ikey, it.Value()) {
 			if err := w.Add(ikey, it.Value()); err != nil {
 				f.Close()
-				os.Remove(path)
+				db.opts.FS.Remove(path)
 				return nil, false, err
 			}
 			wrote = true
@@ -93,18 +92,18 @@ func (db *DB) buildTable(it kv.Iterator, wopts sstable.WriterOptions, maxBytes u
 	}
 	if err := it.Error(); err != nil {
 		f.Close()
-		os.Remove(path)
+		db.opts.FS.Remove(path)
 		return nil, false, err
 	}
 	if !wrote {
 		f.Close()
-		os.Remove(path)
+		db.opts.FS.Remove(path)
 		return nil, more, nil
 	}
 	props, size, err := w.Finish()
 	if err != nil {
 		f.Close()
-		os.Remove(path)
+		db.opts.FS.Remove(path)
 		return nil, false, err
 	}
 	if err := f.Sync(); err != nil {
@@ -146,7 +145,7 @@ func (db *DB) flushOldestImm() error {
 	db.imms = db.imms[1:]
 	db.mu.Unlock()
 	if !db.opts.DisableWAL {
-		os.Remove(db.walPath(im.walNum))
+		db.opts.FS.Remove(db.walPath(im.walNum))
 	}
 	db.opts.Stats.Flushes.Add(1)
 	return nil
@@ -502,7 +501,7 @@ func (db *DB) installVersionEdit(edit func(*manifest.State), dropped map[uint64]
 	if db.vlog != nil {
 		newState.VlogHead = db.vlog.ActiveSegment()
 	}
-	if err := manifest.Save(db.opts.Dir, newState); err != nil {
+	if err := manifest.Save(db.opts.FS, db.opts.Dir, newState); err != nil {
 		db.mu.Unlock()
 		return err
 	}

@@ -3,7 +3,6 @@ package core
 import (
 	"errors"
 	"fmt"
-	"os"
 	"sort"
 	"sync"
 
@@ -79,7 +78,7 @@ func Open(opts Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := os.MkdirAll(o.Dir, 0o755); err != nil {
+	if err := o.FS.MkdirAll(o.Dir); err != nil {
 		return nil, err
 	}
 	picker, err := compaction.NewPicker(o.Shape)
@@ -99,13 +98,13 @@ func Open(opts Options) (*DB, error) {
 		db.cache = cache.New(o.CacheBytes, o.CachePolicy)
 	}
 	if o.ValueSeparation {
-		db.vlog, err = vlog.Open(vlogDir(o.Dir), o.VlogSegmentBytes)
+		db.vlog, err = vlog.Open(o.FS, vlogDir(o.Dir), o.VlogSegmentBytes)
 		if err != nil {
 			return nil, err
 		}
 	}
 
-	state, err := manifest.Load(o.Dir)
+	state, err := manifest.Load(o.FS, o.Dir)
 	if err != nil {
 		return nil, err
 	}
@@ -153,21 +152,21 @@ func (db *DB) newBuffer() buffer {
 // replayWALs re-applies batches from any WAL files left by a crash, in
 // file-number order, then flushes the recovered buffer.
 func (db *DB) replayWALs() error {
-	matches, err := os.ReadDir(db.opts.Dir)
+	names, err := db.opts.FS.List(db.opts.Dir)
 	if err != nil {
 		return err
 	}
 	var nums []uint64
-	for _, de := range matches {
+	for _, name := range names {
 		var n uint64
-		if _, err := fmt.Sscanf(de.Name(), "%06d.wal", &n); err == nil {
+		if _, err := fmt.Sscanf(name, "%06d.wal", &n); err == nil {
 			nums = append(nums, n)
 		}
 	}
 	sort.Slice(nums, func(i, j int) bool { return nums[i] < nums[j] })
 	recovered := 0
-	for _, n := range nums {
-		err := wal.Replay(db.walPath(n), func(payload []byte) error {
+	for i, n := range nums {
+		complete, err := wal.Replay(db.opts.FS, db.walPath(n), func(payload []byte) error {
 			return decodeBatch(payload, func(seq kv.SeqNum, kind kv.Kind, key, value []byte) error {
 				db.mem.Add(kv.Entry{Key: kv.MakeInternalKey(key, seq, kind), Value: value})
 				if seq > db.seq {
@@ -180,6 +179,15 @@ func (db *DB) replayWALs() error {
 		if err != nil {
 			return fmt.Errorf("replay %06d.wal: %w", n, err)
 		}
+		if !complete {
+			// A torn log marks the crash point. Records in later logs were
+			// written after it, so replaying them would leave a hole in
+			// history; stop here for point-in-time recovery.
+			if skipped := len(nums) - i - 1; skipped > 0 {
+				db.opts.Logf("WAL %06d torn; dropping %d later log(s)", n, skipped)
+			}
+			break
+		}
 	}
 	if recovered > 0 {
 		db.opts.Logf("recovered %d entries from %d WAL files", recovered, len(nums))
@@ -189,7 +197,7 @@ func (db *DB) replayWALs() error {
 		db.mem = db.newBuffer()
 	}
 	for _, n := range nums {
-		os.Remove(db.walPath(n))
+		db.opts.FS.Remove(db.walPath(n))
 	}
 	return nil
 }
@@ -199,7 +207,7 @@ func (db *DB) replayWALs() error {
 func (db *DB) rotateWALLocked() error {
 	db.state.NextFileNum++
 	num := db.state.NextFileNum
-	w, err := wal.Create(db.walPath(num), wal.Options{SyncOnWrite: db.opts.WALSync})
+	w, err := wal.Create(db.opts.FS, db.walPath(num), wal.Options{SyncOnWrite: db.opts.WALSync})
 	if err != nil {
 		return err
 	}
@@ -230,6 +238,13 @@ func (db *DB) write(kind kv.Kind, key, value []byte) error {
 		ptr, err := db.vlog.Append(key, value)
 		if err != nil {
 			return err
+		}
+		// Under WALSync the write is acknowledged as durable, so the
+		// separated value the WAL record points into must be durable too.
+		if db.opts.WALSync {
+			if err := db.vlog.Sync(); err != nil {
+				return err
+			}
 		}
 		storedKind = kv.KindValuePointer
 		storedValue = ptr.Encode()
@@ -501,7 +516,12 @@ func (db *DB) Close() error {
 	db.mu.Lock()
 	if db.wal != nil {
 		db.wal.Close()
-		os.Remove(db.walPath(db.walNum))
+		// Only a clean shutdown may discard the log: after any flush or
+		// background failure the WAL can still hold acknowledged records
+		// that never reached a table, and the next open replays it.
+		if flushErr == nil && db.bgErr == nil && len(db.imms) == 0 {
+			db.opts.FS.Remove(db.walPath(db.walNum))
+		}
 	}
 	cur := db.current
 	db.mu.Unlock()

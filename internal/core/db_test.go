@@ -344,6 +344,8 @@ func TestCompactionsReduceRuns(t *testing.T) {
 func TestTieredKeepsMoreRuns(t *testing.T) {
 	// A single converged snapshot is noisy (a final merge can collapse
 	// everything); average the run count sampled across the workload.
+	// Each sample drains maintenance first so it reads the shape the
+	// policy converges to, not the background goroutine's scheduling.
 	avgRuns := func(k, z int) float64 {
 		opts := smallOpts(t.TempDir())
 		opts.Shape.K = k
@@ -354,6 +356,9 @@ func TestTieredKeepsMoreRuns(t *testing.T) {
 		for i := 0; i < 6000; i++ {
 			db.Put(key(i%2000), val(i))
 			if i%100 == 99 {
+				if err := db.WaitIdle(); err != nil {
+					t.Fatal(err)
+				}
 				total += db.TotalRuns()
 				samples++
 			}

@@ -17,6 +17,7 @@ import (
 	"lsmkv/internal/iostat"
 	"lsmkv/internal/rangefilter"
 	"lsmkv/internal/sstable"
+	"lsmkv/internal/vfs"
 )
 
 // Options is the engine's design point. Zero values select sane defaults
@@ -24,6 +25,12 @@ import (
 type Options struct {
 	// Dir is the database directory (required).
 	Dir string
+
+	// FS is the filesystem every persistence layer (WAL, manifest,
+	// sstables, value log) goes through. Nil selects the real filesystem;
+	// tests substitute vfs.Mem / vfs.Faulty to inject faults and
+	// simulate crashes.
+	FS vfs.FS
 
 	// ---- Write path / buffering ----
 
@@ -120,6 +127,9 @@ type Options struct {
 func (o Options) withDefaults() (Options, error) {
 	if o.Dir == "" {
 		return o, fmt.Errorf("core: Options.Dir is required")
+	}
+	if o.FS == nil {
+		o.FS = vfs.Default
 	}
 	if o.MemtableBytes <= 0 {
 		o.MemtableBytes = 4 << 20

@@ -3,7 +3,6 @@ package core
 import (
 	"bytes"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 	"sync"
@@ -12,6 +11,7 @@ import (
 	"lsmkv/internal/compaction"
 	"lsmkv/internal/manifest"
 	"lsmkv/internal/sstable"
+	"lsmkv/internal/vfs"
 )
 
 // tableHandle wraps one immutable table file with its opened reader and a
@@ -19,7 +19,7 @@ import (
 // the latest version) and no live version references it.
 type tableHandle struct {
 	meta     *manifest.FileMeta
-	file     *os.File
+	file     vfs.File
 	reader   *sstable.Reader
 	refs     atomic.Int32
 	obsolete atomic.Bool
@@ -46,7 +46,7 @@ func (th *tableHandle) dispose() {
 	if th.db.cache != nil {
 		th.db.cache.EvictFile(th.meta.Num)
 	}
-	os.Remove(th.db.tablePath(th.meta.Num))
+	th.db.opts.FS.Remove(th.db.tablePath(th.meta.Num))
 }
 
 // run is an opened sorted run: table handles ordered by smallest key with
@@ -182,7 +182,7 @@ func (db *DB) openTable(meta *manifest.FileMeta) (*tableHandle, error) {
 	if th := db.registry.get(meta.Num); th != nil {
 		return th, nil
 	}
-	f, err := os.Open(db.tablePath(meta.Num))
+	f, err := db.opts.FS.Open(db.tablePath(meta.Num))
 	if err != nil {
 		return nil, err
 	}

@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+
+	"lsmkv/internal/vfs"
 )
 
 // FileMeta describes one immutable table file.
@@ -103,23 +105,38 @@ const manifestName = "MANIFEST"
 // Path returns the manifest location under dir.
 func Path(dir string) string { return filepath.Join(dir, manifestName) }
 
-// Save writes the state atomically under dir.
-func Save(dir string, s *State) error {
+// Save writes the state atomically under dir: temp file, fsync, rename.
+// The sync before the rename is load-bearing for crash consistency — a
+// rename made durable before its target's content would surface as a
+// truncated or empty manifest after power loss.
+func Save(fs vfs.FS, dir string, s *State) error {
 	data, err := json.Marshal(s)
 	if err != nil {
 		return fmt.Errorf("manifest: encode: %w", err)
 	}
 	tmp := Path(dir) + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	f, err := fs.Create(tmp)
+	if err != nil {
 		return err
 	}
-	return os.Rename(tmp, Path(dir))
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return fs.Rename(tmp, Path(dir))
 }
 
 // Load reads the state from dir. A missing manifest yields an empty state
 // (fresh database), not an error.
-func Load(dir string) (*State, error) {
-	data, err := os.ReadFile(Path(dir))
+func Load(fs vfs.FS, dir string) (*State, error) {
+	data, err := vfs.ReadFile(fs, Path(dir))
 	if err != nil {
 		if os.IsNotExist(err) {
 			return &State{NextFileNum: 1}, nil

@@ -3,6 +3,8 @@ package manifest
 import (
 	"os"
 	"testing"
+
+	"lsmkv/internal/vfs"
 )
 
 func sampleState() *State {
@@ -28,10 +30,10 @@ func sampleState() *State {
 func TestSaveLoadRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	want := sampleState()
-	if err := Save(dir, want); err != nil {
+	if err := Save(vfs.Default, dir, want); err != nil {
 		t.Fatal(err)
 	}
-	got, err := Load(dir)
+	got, err := Load(vfs.Default, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +53,7 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 }
 
 func TestLoadMissingIsFresh(t *testing.T) {
-	s, err := Load(t.TempDir())
+	s, err := Load(vfs.Default, t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,20 +65,20 @@ func TestLoadMissingIsFresh(t *testing.T) {
 func TestLoadRejectsGarbage(t *testing.T) {
 	dir := t.TempDir()
 	os.WriteFile(Path(dir), []byte("{not json"), 0o644)
-	if _, err := Load(dir); err == nil {
+	if _, err := Load(vfs.Default, dir); err == nil {
 		t.Error("garbage manifest must fail to load")
 	}
 }
 
 func TestSaveIsAtomicOverwrite(t *testing.T) {
 	dir := t.TempDir()
-	Save(dir, sampleState())
+	Save(vfs.Default, dir, sampleState())
 	s2 := sampleState()
 	s2.NextFileNum = 99
-	if err := Save(dir, s2); err != nil {
+	if err := Save(vfs.Default, dir, s2); err != nil {
 		t.Fatal(err)
 	}
-	got, _ := Load(dir)
+	got, _ := Load(vfs.Default, dir)
 	if got.NextFileNum != 99 {
 		t.Errorf("overwrite lost: %d", got.NextFileNum)
 	}

@@ -1,0 +1,329 @@
+package vfs
+
+import (
+	"errors"
+	"os"
+	"strings"
+	"sync"
+)
+
+// ErrInjected is the default error injected by a Rule with a nil Err.
+var ErrInjected = errors.New("vfs: injected fault")
+
+// Op names one filesystem operation class for fault matching.
+type Op uint8
+
+// Operation classes. OpAny matches every class.
+const (
+	OpAny Op = iota
+	OpCreate
+	OpOpen
+	OpOpenReadWrite
+	OpRemove
+	OpRename
+	OpMkdirAll
+	OpList
+	OpStat
+	OpRead
+	OpReadAt
+	OpWrite
+	OpWriteAt
+	OpSync
+)
+
+// Rule describes one injected fault: fail (or silently drop) the Nth
+// operation matching (Op, Path).
+type Rule struct {
+	// Op is the operation class to match; OpAny matches all.
+	Op Op
+	// Path, when non-empty, restricts the rule to operations whose path
+	// contains it as a substring.
+	Path string
+	// N fires the rule on the Nth match (1-based). Values below 1 fire on
+	// the first match.
+	N int
+	// Repeat keeps the rule firing on every match after the Nth instead
+	// of firing once.
+	Repeat bool
+	// Err is the error returned when the rule fires; nil uses
+	// ErrInjected.
+	Err error
+	// Drop, valid for OpSync only, silently skips the sync and reports
+	// success — modeling a device that lies about durability.
+	Drop bool
+	// Partial, valid for OpWrite/OpWriteAt, applies only the first half
+	// of the buffer before returning the error — a torn write.
+	Partial bool
+
+	count int // matches seen so far (owned by the Faulty mutex)
+}
+
+func (r *Rule) fires() bool {
+	r.count++
+	n := r.N
+	if n < 1 {
+		n = 1
+	}
+	if r.Repeat {
+		return r.count >= n
+	}
+	return r.count == n
+}
+
+func (r *Rule) err() error {
+	if r.Err != nil {
+		return r.Err
+	}
+	return ErrInjected
+}
+
+// Faulty wraps any FS and injects faults: per-rule errors on the Nth
+// matching operation, dropped syncs, torn writes, and a whole-filesystem
+// crash after a chosen operation count. Crash freezing delegates to the
+// wrapped FS when it implements Crash() (Mem does); regardless, Faulty
+// itself fails every operation after the crash point with ErrCrashed.
+type Faulty struct {
+	inner FS
+
+	mu      sync.Mutex
+	rules   []*Rule
+	ops     int64
+	crashAt int64 // crash before the op that would make ops == crashAt; 0 = never
+	crashed bool
+}
+
+// NewFaulty wraps inner.
+func NewFaulty(inner FS) *Faulty { return &Faulty{inner: inner} }
+
+// Inject adds a fault rule. Rules are matched in insertion order; the
+// first firing rule wins.
+func (f *Faulty) Inject(r Rule) {
+	f.mu.Lock()
+	f.rules = append(f.rules, &r)
+	f.mu.Unlock()
+}
+
+// CrashAfter freezes the filesystem once n more operations have been
+// observed: the (current+n)th operation and everything after it fail with
+// ErrCrashed, leaving the wrapped FS exactly as the prior operations left
+// it. n < 1 crashes on the next operation.
+func (f *Faulty) CrashAfter(n int64) {
+	f.mu.Lock()
+	if n < 1 {
+		n = 1
+	}
+	f.crashAt = f.ops + n
+	f.mu.Unlock()
+}
+
+// CrashNow freezes the filesystem immediately.
+func (f *Faulty) CrashNow() {
+	f.mu.Lock()
+	f.crashNowLocked()
+	f.mu.Unlock()
+}
+
+func (f *Faulty) crashNowLocked() {
+	f.crashed = true
+	if c, ok := f.inner.(interface{ Crash() }); ok {
+		c.Crash()
+	}
+}
+
+// OpCount returns the number of operations observed so far.
+func (f *Faulty) OpCount() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// Crashed reports whether the crash point has been reached.
+func (f *Faulty) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// check runs the fault logic for one operation. It returns the fired
+// rule (nil when none) and ErrCrashed when the filesystem is frozen.
+func (f *Faulty) check(op Op, path string) (*Rule, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ops++
+	if !f.crashed && f.crashAt > 0 && f.ops >= f.crashAt {
+		f.crashNowLocked()
+	}
+	if f.crashed {
+		return nil, ErrCrashed
+	}
+	for _, r := range f.rules {
+		if r.Op != OpAny && r.Op != op {
+			continue
+		}
+		if r.Path != "" && !strings.Contains(path, r.Path) {
+			continue
+		}
+		if r.fires() {
+			return r, nil
+		}
+	}
+	return nil, nil
+}
+
+func (f *Faulty) Create(name string) (File, error) {
+	if r, err := f.check(OpCreate, name); err != nil {
+		return nil, err
+	} else if r != nil {
+		return nil, r.err()
+	}
+	inner, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyFile{fs: f, inner: inner, name: name}, nil
+}
+
+func (f *Faulty) Open(name string) (File, error) {
+	if r, err := f.check(OpOpen, name); err != nil {
+		return nil, err
+	} else if r != nil {
+		return nil, r.err()
+	}
+	inner, err := f.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyFile{fs: f, inner: inner, name: name}, nil
+}
+
+func (f *Faulty) OpenReadWrite(name string) (File, error) {
+	if r, err := f.check(OpOpenReadWrite, name); err != nil {
+		return nil, err
+	} else if r != nil {
+		return nil, r.err()
+	}
+	inner, err := f.inner.OpenReadWrite(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyFile{fs: f, inner: inner, name: name}, nil
+}
+
+func (f *Faulty) Remove(name string) error {
+	if r, err := f.check(OpRemove, name); err != nil {
+		return err
+	} else if r != nil {
+		return r.err()
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *Faulty) Rename(oldname, newname string) error {
+	if r, err := f.check(OpRename, newname); err != nil {
+		return err
+	} else if r != nil {
+		return r.err()
+	}
+	return f.inner.Rename(oldname, newname)
+}
+
+func (f *Faulty) MkdirAll(dir string) error {
+	if r, err := f.check(OpMkdirAll, dir); err != nil {
+		return err
+	} else if r != nil {
+		return r.err()
+	}
+	return f.inner.MkdirAll(dir)
+}
+
+func (f *Faulty) List(dir string) ([]string, error) {
+	if r, err := f.check(OpList, dir); err != nil {
+		return nil, err
+	} else if r != nil {
+		return nil, r.err()
+	}
+	return f.inner.List(dir)
+}
+
+func (f *Faulty) Stat(name string) (os.FileInfo, error) {
+	if r, err := f.check(OpStat, name); err != nil {
+		return nil, err
+	} else if r != nil {
+		return nil, r.err()
+	}
+	return f.inner.Stat(name)
+}
+
+// faultyFile routes file operations through the wrapper's fault logic.
+type faultyFile struct {
+	fs    *Faulty
+	inner File
+	name  string
+}
+
+func (ff *faultyFile) Read(p []byte) (int, error) {
+	if r, err := ff.fs.check(OpRead, ff.name); err != nil {
+		return 0, err
+	} else if r != nil {
+		return 0, r.err()
+	}
+	return ff.inner.Read(p)
+}
+
+func (ff *faultyFile) ReadAt(p []byte, off int64) (int, error) {
+	if r, err := ff.fs.check(OpReadAt, ff.name); err != nil {
+		return 0, err
+	} else if r != nil {
+		return 0, r.err()
+	}
+	return ff.inner.ReadAt(p, off)
+}
+
+func (ff *faultyFile) Write(p []byte) (int, error) {
+	if r, err := ff.fs.check(OpWrite, ff.name); err != nil {
+		return 0, err
+	} else if r != nil {
+		if r.Partial {
+			n, werr := ff.inner.Write(p[:len(p)/2])
+			if werr == nil {
+				werr = r.err()
+			}
+			return n, werr
+		}
+		return 0, r.err()
+	}
+	return ff.inner.Write(p)
+}
+
+func (ff *faultyFile) WriteAt(p []byte, off int64) (int, error) {
+	if r, err := ff.fs.check(OpWriteAt, ff.name); err != nil {
+		return 0, err
+	} else if r != nil {
+		if r.Partial {
+			n, werr := ff.inner.WriteAt(p[:len(p)/2], off)
+			if werr == nil {
+				werr = r.err()
+			}
+			return n, werr
+		}
+		return 0, r.err()
+	}
+	return ff.inner.WriteAt(p, off)
+}
+
+func (ff *faultyFile) Sync() error {
+	if r, err := ff.fs.check(OpSync, ff.name); err != nil {
+		return err
+	} else if r != nil {
+		if r.Drop {
+			return nil // lie: report durability without syncing
+		}
+		return r.err()
+	}
+	return ff.inner.Sync()
+}
+
+// Close is never failed: shutdown paths must be able to release handles.
+func (ff *faultyFile) Close() error { return ff.inner.Close() }
+
+func (ff *faultyFile) Stat() (os.FileInfo, error) { return ff.inner.Stat() }

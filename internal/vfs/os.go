@@ -1,0 +1,34 @@
+package vfs
+
+import "os"
+
+// OS is the production filesystem: a thin passthrough to the os package.
+type OS struct{}
+
+func (OS) Create(name string) (File, error) { return os.Create(name) }
+
+func (OS) Open(name string) (File, error) { return os.Open(name) }
+
+func (OS) OpenReadWrite(name string) (File, error) {
+	return os.OpenFile(name, os.O_RDWR, 0o644)
+}
+
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+func (OS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+func (OS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (OS) List(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(entries))
+	for i, e := range entries {
+		names[i] = e.Name()
+	}
+	return names, nil
+}
+
+func (OS) Stat(name string) (os.FileInfo, error) { return os.Stat(name) }

@@ -1,0 +1,87 @@
+// Package vfs abstracts the filesystem beneath every persistence layer
+// (WAL, manifest, sstables, value log) so tests can substitute
+// implementations that inject faults or simulate crashes. Production code
+// uses OS, a thin passthrough to the os package with zero behavior
+// change; the crash-recovery harness uses Mem (which tracks per-file
+// durability watermarks) wrapped in Faulty (which injects errors on the
+// Nth matching operation and can freeze the filesystem mid-run).
+package vfs
+
+import (
+	"io"
+	"os"
+)
+
+// File is one open file handle. Reads and writes follow os.File
+// semantics: Write appends at the handle's offset (all engine writers are
+// append-only), ReadAt/WriteAt are positional.
+type File interface {
+	io.Reader
+	io.Writer
+	io.ReaderAt
+	io.WriterAt
+	io.Closer
+	// Sync makes all written data durable: after Sync returns, a crash
+	// must not lose it.
+	Sync() error
+	// Stat returns the file's metadata (only Size is load-bearing).
+	Stat() (os.FileInfo, error)
+}
+
+// FS is the filesystem interface the engine's persistence layers use.
+type FS interface {
+	// Create creates (truncating) a file for writing and reading.
+	Create(name string) (File, error)
+	// Open opens an existing file for reading.
+	Open(name string) (File, error)
+	// OpenReadWrite opens an existing file for reading and writing
+	// (value-log segment reopen).
+	OpenReadWrite(name string) (File, error)
+	// Remove deletes a file. Removing a missing file is an error
+	// matching os.IsNotExist.
+	Remove(name string) error
+	// Rename atomically replaces newname with oldname.
+	Rename(oldname, newname string) error
+	// MkdirAll creates a directory and any missing parents.
+	MkdirAll(dir string) error
+	// List returns the base names of the entries in dir.
+	List(dir string) ([]string, error)
+	// Stat returns metadata for name; a missing file yields an error
+	// matching os.IsNotExist.
+	Stat(name string) (os.FileInfo, error)
+}
+
+// Default is the FS used when none is configured: the real filesystem.
+var Default FS = OS{}
+
+// ReadFile reads the whole file at name.
+func ReadFile(fs FS, name string) ([]byte, error) {
+	f, err := fs.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, fi.Size())
+	if _, err := io.ReadFull(f, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// WriteFile creates name with data. It does NOT sync: callers that need
+// durability (manifest temp files) sync explicitly before renaming.
+func WriteFile(fs FS, name string, data []byte) error {
+	f, err := fs.Create(name)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

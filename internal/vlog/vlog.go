@@ -13,10 +13,12 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
-	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
+
+	"lsmkv/internal/vfs"
 )
 
 // Errors returned by the value log.
@@ -69,39 +71,43 @@ func DecodePointer(data []byte) (Pointer, error) {
 // in a directory. Safe for concurrent use.
 type Log struct {
 	mu         sync.Mutex
+	fs         vfs.FS
 	dir        string
-	active     *os.File
+	active     vfs.File
 	activeNum  uint64
 	activeOff  uint64
 	segmentCap uint64
-	segments   map[uint64]*os.File
+	segments   map[uint64]vfs.File
 }
 
-// Open creates or reopens a value log in dir. segmentCap bounds segment
-// size before rolling to a new file.
-func Open(dir string, segmentCap uint64) (*Log, error) {
+// Open creates or reopens a value log in dir on fs. segmentCap bounds
+// segment size before rolling to a new file.
+func Open(fs vfs.FS, dir string, segmentCap uint64) (*Log, error) {
 	if segmentCap < 1<<10 {
 		segmentCap = 64 << 20
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := fs.MkdirAll(dir); err != nil {
 		return nil, err
 	}
-	l := &Log{dir: dir, segmentCap: segmentCap, segments: make(map[uint64]*os.File)}
+	l := &Log{fs: fs, dir: dir, segmentCap: segmentCap, segments: make(map[uint64]vfs.File)}
 	// Reopen existing segments; continue appending to the highest.
-	matches, err := filepath.Glob(filepath.Join(dir, "*.vlog"))
+	names, err := fs.List(dir)
 	if err != nil {
 		return nil, err
 	}
 	var nums []uint64
-	for _, m := range matches {
+	for _, m := range names {
+		if !strings.HasSuffix(m, ".vlog") {
+			continue
+		}
 		var n uint64
-		if _, err := fmt.Sscanf(filepath.Base(m), "%06d.vlog", &n); err == nil {
+		if _, err := fmt.Sscanf(m, "%06d.vlog", &n); err == nil {
 			nums = append(nums, n)
 		}
 	}
 	sort.Slice(nums, func(i, j int) bool { return nums[i] < nums[j] })
 	for _, n := range nums {
-		f, err := os.OpenFile(l.segmentPath(n), os.O_RDWR, 0o644)
+		f, err := fs.OpenReadWrite(l.segmentPath(n))
 		if err != nil {
 			return nil, err
 		}
@@ -129,7 +135,7 @@ func (l *Log) segmentPath(n uint64) string {
 // rollLocked starts a new active segment. Caller holds the lock.
 func (l *Log) rollLocked() error {
 	n := l.activeNum + 1
-	f, err := os.Create(l.segmentPath(n))
+	f, err := l.fs.Create(l.segmentPath(n))
 	if err != nil {
 		return err
 	}
@@ -177,7 +183,7 @@ func (l *Log) Get(p Pointer) ([]byte, error) {
 	return val, nil
 }
 
-func (l *Log) segment(n uint64) (*os.File, error) {
+func (l *Log) segment(n uint64) (vfs.File, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	f, ok := l.segments[n]
@@ -272,7 +278,7 @@ func (l *Log) GC(
 			found = true
 		}
 	}
-	var f *os.File
+	var f vfs.File
 	if found {
 		f = l.segments[victim]
 	}
@@ -304,7 +310,7 @@ func (l *Log) GC(
 	delete(l.segments, victim)
 	l.mu.Unlock()
 	f.Close()
-	if err := os.Remove(l.segmentPath(victim)); err != nil {
+	if err := l.fs.Remove(l.segmentPath(victim)); err != nil {
 		return true, err
 	}
 	return true, nil
@@ -341,6 +347,6 @@ func (l *Log) Close() error {
 			first = err
 		}
 	}
-	l.segments = map[uint64]*os.File{}
+	l.segments = map[uint64]vfs.File{}
 	return first
 }

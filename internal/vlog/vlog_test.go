@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"testing"
 	"testing/quick"
+
+	"lsmkv/internal/vfs"
 )
 
 func TestPointerRoundTrip(t *testing.T) {
@@ -22,7 +24,7 @@ func TestPointerRoundTrip(t *testing.T) {
 }
 
 func TestAppendGetRoundTrip(t *testing.T) {
-	l, err := Open(t.TempDir(), 1<<20)
+	l, err := Open(vfs.Default, t.TempDir(), 1<<20)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +55,7 @@ func TestAppendGetRoundTrip(t *testing.T) {
 }
 
 func TestSegmentRolling(t *testing.T) {
-	l, err := Open(t.TempDir(), 4<<10) // tiny segments
+	l, err := Open(vfs.Default, t.TempDir(), 4<<10) // tiny segments
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,11 +72,11 @@ func TestSegmentRolling(t *testing.T) {
 
 func TestReopenContinues(t *testing.T) {
 	dir := t.TempDir()
-	l, _ := Open(dir, 1<<20)
+	l, _ := Open(vfs.Default, dir, 1<<20)
 	p1, _ := l.Append([]byte("k1"), []byte("v1"))
 	l.Close()
 
-	l2, err := Open(dir, 1<<20)
+	l2, err := Open(vfs.Default, dir, 1<<20)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +99,7 @@ func TestReopenContinues(t *testing.T) {
 }
 
 func TestGCRewritesLiveOnly(t *testing.T) {
-	l, err := Open(t.TempDir(), 8<<10)
+	l, err := Open(vfs.Default, t.TempDir(), 8<<10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +154,7 @@ func TestGCRewritesLiveOnly(t *testing.T) {
 }
 
 func TestGCOnSingleSegmentIsNoop(t *testing.T) {
-	l, _ := Open(t.TempDir(), 1<<20)
+	l, _ := Open(vfs.Default, t.TempDir(), 1<<20)
 	defer l.Close()
 	l.Append([]byte("k"), []byte("v"))
 	collected, err := l.GC(
@@ -168,7 +170,7 @@ func TestGCOnSingleSegmentIsNoop(t *testing.T) {
 }
 
 func TestGetStalePointerAfterGC(t *testing.T) {
-	l, _ := Open(t.TempDir(), 4<<10)
+	l, _ := Open(vfs.Default, t.TempDir(), 4<<10)
 	defer l.Close()
 	p0, _ := l.Append([]byte("k"), make([]byte, 512))
 	for i := 0; i < 50; i++ {
@@ -187,7 +189,7 @@ func TestGetStalePointerAfterGC(t *testing.T) {
 }
 
 func TestSizeBytesGrows(t *testing.T) {
-	l, _ := Open(t.TempDir(), 1<<20)
+	l, _ := Open(vfs.Default, t.TempDir(), 1<<20)
 	defer l.Close()
 	s0 := l.SizeBytes()
 	l.Append([]byte("k"), make([]byte, 4096))

@@ -11,6 +11,8 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+
+	"lsmkv/internal/vfs"
 )
 
 // ErrCorrupt indicates a record failed its checksum; replay stops at the
@@ -23,7 +25,7 @@ const headerLen = 8 // crc32 (4) + payload length (4)
 
 // Writer appends records to a log file.
 type Writer struct {
-	f      *os.File
+	f      vfs.File
 	bw     *bufio.Writer
 	offset int64
 	sync   bool
@@ -36,9 +38,9 @@ type Options struct {
 	SyncOnWrite bool
 }
 
-// Create creates (truncating) a log file at path.
-func Create(path string, opts Options) (*Writer, error) {
-	f, err := os.Create(path)
+// Create creates (truncating) a log file at path on fs.
+func Create(fs vfs.FS, path string, opts Options) (*Writer, error) {
+	f, err := fs.Create(path)
 	if err != nil {
 		return nil, err
 	}
@@ -85,48 +87,68 @@ func (w *Writer) Close() error {
 
 // Replay reads records from the log at path in order, invoking fn for
 // each. A torn or corrupt tail stops replay without error (those records
-// were never acknowledged as durable); corruption in the middle surfaces
-// as ErrCorrupt. A missing file is not an error.
-func Replay(path string, fn func(payload []byte) error) error {
-	f, err := os.Open(path)
+// were never acknowledged as durable) and reports complete=false;
+// corruption in the middle surfaces as ErrCorrupt. A missing file is not
+// an error and counts as complete.
+//
+// Callers replaying a sequence of logs must stop at the first incomplete
+// one: a torn tail marks the crash point, and records in later logs are
+// from after it. Replaying past the tear would recover history with a
+// hole in the middle (point-in-time recovery, not per-file salvage).
+func Replay(fs vfs.FS, path string, fn func(payload []byte) error) (complete bool, err error) {
+	f, err := fs.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return nil
+			return true, nil
 		}
-		return err
+		return false, err
 	}
 	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return false, err
+	}
+	size := fi.Size()
 	br := bufio.NewReaderSize(f, 64<<10)
+	off := int64(0)
 	for {
 		var hdr [headerLen]byte
 		if _, err := io.ReadFull(br, hdr[:]); err != nil {
 			if err == io.EOF {
-				return nil
+				return true, nil
 			}
 			if errors.Is(err, io.ErrUnexpectedEOF) {
-				return nil // torn header at tail
+				return false, nil // torn header at tail
 			}
-			return err
+			return false, err
 		}
+		off += headerLen
 		want := binary.LittleEndian.Uint32(hdr[0:])
 		n := binary.LittleEndian.Uint32(hdr[4:])
+		// A declared length running past the file is a torn tail; checking
+		// before allocating also bounds the allocation by the file size
+		// for adversarial input.
+		if int64(n) > size-off {
+			return false, nil
+		}
 		payload := make([]byte, n)
 		if _, err := io.ReadFull(br, payload); err != nil {
 			if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
-				return nil // torn payload at tail
+				return false, nil // torn payload at tail
 			}
-			return err
+			return false, err
 		}
+		off += int64(n)
 		if crc32.Checksum(payload, crcTable) != want {
 			// Distinguish "tail garbage" from mid-log corruption: if
 			// nothing follows, treat as torn tail.
 			if _, err := br.Peek(1); err == io.EOF {
-				return nil
+				return false, nil
 			}
-			return ErrCorrupt
+			return false, ErrCorrupt
 		}
 		if err := fn(payload); err != nil {
-			return err
+			return false, err
 		}
 	}
 }

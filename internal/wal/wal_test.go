@@ -5,11 +5,13 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"lsmkv/internal/vfs"
 )
 
 func TestWALRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "wal")
-	w, err := Create(path, Options{})
+	w, err := Create(vfs.Default, path, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,11 +27,15 @@ func TestWALRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	var got [][]byte
-	if err := Replay(path, func(p []byte) error {
+	complete, err := Replay(vfs.Default, path, func(p []byte) error {
 		got = append(got, append([]byte(nil), p...))
 		return nil
-	}); err != nil {
+	})
+	if err != nil {
 		t.Fatal(err)
+	}
+	if !complete {
+		t.Error("clean log reported incomplete")
 	}
 	if len(got) != len(want) {
 		t.Fatalf("replayed %d records want %d", len(got), len(want))
@@ -43,7 +49,7 @@ func TestWALRoundTrip(t *testing.T) {
 
 func TestWALTornTailIgnored(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "wal")
-	w, _ := Create(path, Options{})
+	w, _ := Create(vfs.Default, path, Options{})
 	w.AddRecord([]byte("complete-record"))
 	w.AddRecord([]byte("this-one-will-be-torn"))
 	w.Close()
@@ -51,8 +57,12 @@ func TestWALTornTailIgnored(t *testing.T) {
 	fi, _ := os.Stat(path)
 	os.Truncate(path, fi.Size()-5)
 	var got int
-	if err := Replay(path, func(p []byte) error { got++; return nil }); err != nil {
+	complete, err := Replay(vfs.Default, path, func(p []byte) error { got++; return nil })
+	if err != nil {
 		t.Fatalf("torn tail must not error: %v", err)
+	}
+	if complete {
+		t.Error("torn log reported complete")
 	}
 	if got != 1 {
 		t.Errorf("replayed %d records want 1", got)
@@ -61,28 +71,32 @@ func TestWALTornTailIgnored(t *testing.T) {
 
 func TestWALMidCorruptionSurfaces(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "wal")
-	w, _ := Create(path, Options{})
+	w, _ := Create(vfs.Default, path, Options{})
 	w.AddRecord([]byte("first-record-payload"))
 	w.AddRecord([]byte("second-record-payload"))
 	w.Close()
 	data, _ := os.ReadFile(path)
 	data[headerLen+2] ^= 0xff // flip a byte inside the first payload
 	os.WriteFile(path, data, 0o644)
-	err := Replay(path, func(p []byte) error { return nil })
+	_, err := Replay(vfs.Default, path, func(p []byte) error { return nil })
 	if err != ErrCorrupt {
 		t.Errorf("want ErrCorrupt, got %v", err)
 	}
 }
 
 func TestWALMissingFile(t *testing.T) {
-	if err := Replay(filepath.Join(t.TempDir(), "absent"), func([]byte) error { return nil }); err != nil {
+	complete, err := Replay(vfs.Default, filepath.Join(t.TempDir(), "absent"), func([]byte) error { return nil })
+	if err != nil {
 		t.Errorf("missing file must be a no-op: %v", err)
+	}
+	if !complete {
+		t.Error("missing file reported incomplete")
 	}
 }
 
 func TestWALSyncOnWrite(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "wal")
-	w, err := Create(path, Options{SyncOnWrite: true})
+	w, err := Create(vfs.Default, path, Options{SyncOnWrite: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +105,7 @@ func TestWALSyncOnWrite(t *testing.T) {
 	}
 	// Record must be on disk even before Close.
 	var got int
-	if err := Replay(path, func(p []byte) error { got++; return nil }); err != nil {
+	if _, err := Replay(vfs.Default, path, func(p []byte) error { got++; return nil }); err != nil {
 		t.Fatal(err)
 	}
 	if got != 1 {
@@ -102,12 +116,12 @@ func TestWALSyncOnWrite(t *testing.T) {
 
 func TestWALEmptyRecord(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "wal")
-	w, _ := Create(path, Options{})
+	w, _ := Create(vfs.Default, path, Options{})
 	w.AddRecord(nil)
 	w.AddRecord([]byte("after-empty"))
 	w.Close()
 	var got [][]byte
-	Replay(path, func(p []byte) error {
+	_, _ = Replay(vfs.Default, path, func(p []byte) error {
 		got = append(got, append([]byte(nil), p...))
 		return nil
 	})
@@ -118,7 +132,7 @@ func TestWALEmptyRecord(t *testing.T) {
 
 func TestWALSizeTracking(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "wal")
-	w, _ := Create(path, Options{})
+	w, _ := Create(vfs.Default, path, Options{})
 	if w.Size() != 0 {
 		t.Error("fresh wal size not 0")
 	}
