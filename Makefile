@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race crash bench experiments examples fuzz clean
+.PHONY: all build test race crash bench bench-server experiments examples fuzz serve clean
 
 all: build test
 
@@ -14,6 +14,7 @@ build:
 test:
 	$(GO) vet ./...
 	$(GO) test ./...
+	$(GO) test -race ./internal/server/ ./internal/client/
 	$(MAKE) crash
 
 race:
@@ -30,6 +31,11 @@ crash:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# Group-commit microbench: coalesced vs per-op-sync committer over the
+# full network stack (see bench_results.txt for a recorded run).
+bench-server:
+	$(GO) test ./internal/server/ -run xxx -bench BenchmarkGroupCommit -benchtime 1s
+
 # The claim-shaped experiment tables (DESIGN.md index, EXPERIMENTS.md record).
 experiments:
 	$(GO) run ./cmd/lsmbench
@@ -44,6 +50,15 @@ fuzz:
 	$(GO) test ./internal/sstable/ -fuzz FuzzDecodeBlock -fuzztime 30s
 	$(GO) test ./internal/sstable/ -fuzz FuzzOpenReader -fuzztime 30s
 	$(GO) test ./internal/wal/ -fuzz FuzzWALReplay -fuzztime 30s
+	$(GO) test ./internal/server/ -fuzz FuzzDecodeRequest -fuzztime 30s
+	$(GO) test ./internal/server/ -fuzz FuzzDecodeResponse -fuzztime 30s
+
+# Run a server on ./serve-db with metrics, for poking at with lsmctl:
+#   make serve &
+#   go run ./cmd/lsmctl -addr 127.0.0.1:4440 put hello world
+serve:
+	$(GO) run ./cmd/lsmserver -db ./serve-db -addr 127.0.0.1:4440 -metrics 127.0.0.1:4441 -v
 
 clean:
 	rm -f lsmbench
+	rm -rf serve-db

@@ -1,8 +1,8 @@
-// Command lsmctl opens a database directory and performs basic
-// operations from the command line — the operational companion to the
-// library.
+// Command lsmctl opens a database directory — or connects to a running
+// lsmserver — and performs basic operations from the command line; the
+// operational companion to the library and the server.
 //
-// Usage:
+// Embedded usage (opens the directory directly):
 //
 //	lsmctl -db /path put <key> <value>
 //	lsmctl -db /path get <key>
@@ -11,6 +11,16 @@
 //	lsmctl -db /path stats
 //	lsmctl -db /path compact
 //	lsmctl -db /path fill <n>         # load n synthetic entries
+//
+// Network usage (speaks the binary protocol to a running lsmserver):
+//
+//	lsmctl -addr host:4440 put <key> <value>
+//	lsmctl -addr host:4440 get <key>
+//	lsmctl -addr host:4440 delete <key>
+//	lsmctl -addr host:4440 scan <lo> <hi>
+//	lsmctl -addr host:4440 stats
+//	lsmctl -addr host:4440 ping
+//	lsmctl -addr host:4440 fill <n>   # load n entries via BATCH frames
 //
 // Design flags mirror the library presets:
 //
@@ -25,18 +35,35 @@ import (
 	"strconv"
 
 	"lsmkv"
+	"lsmkv/internal/client"
 	"lsmkv/internal/workload"
 )
 
 func main() {
 	var (
-		dir    = flag.String("db", "", "database directory (required)")
+		dir    = flag.String("db", "", "database directory (opens the DB in-process)")
+		addr   = flag.String("addr", "", "lsmserver address (speaks the network protocol instead of opening -db)")
 		preset = flag.String("preset", "default", "default | read | write | balanced | wisckey")
 	)
 	flag.Parse()
-	if *dir == "" || flag.NArg() == 0 {
+	if (*dir == "") == (*addr == "") || flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "lsmctl: exactly one of -db or -addr is required")
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *addr != "" {
+		cl, err := client.Dial(*addr, &client.Options{MaxRetries: 2})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lsmctl: dial:", err)
+			os.Exit(1)
+		}
+		defer cl.Close()
+		if err := runRemote(cl, flag.Args()); err != nil {
+			fmt.Fprintln(os.Stderr, "lsmctl:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	var opts *lsmkv.Options
@@ -154,5 +181,93 @@ func run(db *lsmkv.DB, args []string) error {
 		return nil
 	default:
 		return fmt.Errorf("unknown command %q (put|get|delete|scan|stats|compact|fill|gc)", cmd)
+	}
+}
+
+// runRemote executes one subcommand against a running lsmserver.
+func runRemote(cl *client.Client, args []string) error {
+	cmd, rest := args[0], args[1:]
+	need := func(n int) error {
+		if len(rest) != n {
+			return fmt.Errorf("%s expects %d argument(s)", cmd, n)
+		}
+		return nil
+	}
+	switch cmd {
+	case "put":
+		if err := need(2); err != nil {
+			return err
+		}
+		return cl.Put([]byte(rest[0]), []byte(rest[1]))
+	case "get":
+		if err := need(1); err != nil {
+			return err
+		}
+		v, err := cl.Get([]byte(rest[0]))
+		if errors.Is(err, client.ErrNotFound) {
+			fmt.Println("(not found)")
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s\n", v)
+		return nil
+	case "delete":
+		if err := need(1); err != nil {
+			return err
+		}
+		return cl.Delete([]byte(rest[0]))
+	case "scan":
+		if err := need(2); err != nil {
+			return err
+		}
+		count := 0
+		err := cl.ScanAll([]byte(rest[0]), []byte(rest[1]), func(k, v []byte) bool {
+			fmt.Printf("%s => %s\n", k, v)
+			count++
+			return count < 1000
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("(%d entries)\n", count)
+		return nil
+	case "stats":
+		body, err := cl.Stats()
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(body)
+		fmt.Println()
+		return nil
+	case "ping":
+		if err := cl.Ping(); err != nil {
+			return err
+		}
+		fmt.Println("pong")
+		return nil
+	case "fill":
+		if err := need(1); err != nil {
+			return err
+		}
+		n, err := strconv.ParseInt(rest[0], 10, 64)
+		if err != nil {
+			return err
+		}
+		const chunk = 500
+		for i := int64(0); i < n; i += chunk {
+			var ops []client.Op
+			for j := i; j < i+chunk && j < n; j++ {
+				ops = append(ops, client.PutOp(workload.Key(j), workload.Value(j, 100)))
+			}
+			if err := cl.Batch(ops); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("loaded %d entries\n", n)
+		return nil
+	default:
+		return fmt.Errorf("unknown remote command %q (put|get|delete|scan|stats|ping|fill)", cmd)
 	}
 }

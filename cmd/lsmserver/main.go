@@ -1,0 +1,131 @@
+// Command lsmserver serves an lsmkv database over the network: the
+// length-prefixed binary KV protocol on -addr (pipelined connections,
+// group-committed writes, token-bucket backpressure) and live metrics on
+// -metrics (/metrics JSON, /healthz). SIGTERM or SIGINT triggers a
+// graceful drain: accepting stops, every in-flight request is answered,
+// queued commits reach the log, and the engine flushes before exit.
+//
+// Usage:
+//
+//	lsmserver -db /path [-addr :4440] [-metrics :4441] [-preset default]
+//	          [-sync] [-rate 0] [-max-conns 1024]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lsmkv"
+	"lsmkv/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:4440", "serve the KV protocol on this address")
+		metricsAddr  = flag.String("metrics", "", "serve /metrics and /healthz on this HTTP address (empty disables)")
+		dir          = flag.String("db", "", "database directory (required)")
+		preset       = flag.String("preset", "default", "default | read | write | balanced | wisckey")
+		syncWrites   = flag.Bool("sync", true, "fsync each commit group before acknowledging writes")
+		maxConns     = flag.Int("max-conns", 1024, "maximum concurrent connections")
+		rate         = flag.Float64("rate", 0, "request rate limit per second (0 = unlimited)")
+		burst        = flag.Int("burst", 0, "token bucket burst (default derived from -rate)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long graceful shutdown may take")
+		verbose      = flag.Bool("v", false, "log engine and server events")
+	)
+	flag.Parse()
+	if *dir == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	logf := func(string, ...any) {}
+	if *verbose {
+		logf = log.Printf
+	}
+
+	var opts *lsmkv.Options
+	switch *preset {
+	case "default":
+		opts = lsmkv.Default()
+	case "read":
+		opts = lsmkv.ReadOptimized()
+	case "write":
+		opts = lsmkv.WriteOptimized()
+	case "balanced":
+		opts = lsmkv.Balanced()
+	case "wisckey":
+		opts = lsmkv.WiscKey()
+	default:
+		fmt.Fprintf(os.Stderr, "lsmserver: unknown preset %q\n", *preset)
+		os.Exit(2)
+	}
+	opts.Logf = logf
+
+	db, err := lsmkv.Open(*dir, opts)
+	if err != nil {
+		log.Fatalf("lsmserver: open %s: %v", *dir, err)
+	}
+
+	srv, err := server.New(server.Config{
+		DB:         db,
+		MaxConns:   *maxConns,
+		RatePerSec: *rate,
+		Burst:      *burst,
+		SyncWrites: *syncWrites,
+		Logf:       log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("lsmserver: %v", err)
+	}
+
+	var metricsSrv *http.Server
+	if *metricsAddr != "" {
+		metricsSrv = &http.Server{Addr: *metricsAddr, Handler: srv.MetricsHandler()}
+		go func() {
+			log.Printf("lsmserver: metrics on http://%s/metrics", *metricsAddr)
+			if err := metricsSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("lsmserver: metrics server: %v", err)
+			}
+		}()
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	shuttingDown := make(chan struct{})
+	drained := make(chan struct{})
+	go func() {
+		sig := <-sigc
+		close(shuttingDown)
+		log.Printf("lsmserver: %v: draining (timeout %s)", sig, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("lsmserver: drain: %v", err)
+		}
+		close(drained)
+	}()
+
+	if err := srv.ListenAndServe(*addr); err != nil {
+		log.Printf("lsmserver: serve: %v", err)
+	}
+	// The DB must stay open until the drain finishes answering requests.
+	select {
+	case <-shuttingDown:
+		<-drained
+	default:
+	}
+	if metricsSrv != nil {
+		metricsSrv.Close()
+	}
+	if err := db.Close(); err != nil {
+		log.Fatalf("lsmserver: close: %v", err)
+	}
+	log.Printf("lsmserver: clean shutdown")
+}

@@ -1,0 +1,433 @@
+// Package client implements a Go client for the lsmkv network protocol.
+// One connection carries many concurrent requests (pipelining): calls
+// from any number of goroutines are written back-to-back and matched to
+// responses by request ID, so throughput is not bounded by round-trip
+// latency. Transient failures — connection resets, server drain,
+// throttling — are retried with backoff over a fresh connection when
+// Options.MaxRetries is set; every protocol operation is idempotent
+// (last-writer-wins puts, tombstone deletes), so retrying a write whose
+// response was lost is safe.
+package client
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lsmkv/internal/core"
+	"lsmkv/internal/server"
+)
+
+// Errors returned by the client.
+var (
+	// ErrNotFound mirrors the engine's not-found result.
+	ErrNotFound = errors.New("client: key not found")
+	// ErrThrottled is returned when the server sheds the request under
+	// backpressure and retries are exhausted (or disabled).
+	ErrThrottled = errors.New("client: throttled by server")
+	// ErrShutdown is returned when the server is draining.
+	ErrShutdown = errors.New("client: server shutting down")
+	// ErrClosed is returned after Close.
+	ErrClosed = errors.New("client: closed")
+	// ErrTimeout is returned when a response misses RequestTimeout.
+	ErrTimeout = errors.New("client: request timed out")
+)
+
+// Op is one batch operation; build with PutOp / DeleteOp.
+type Op = core.BatchOp
+
+// PutOp builds a set operation for Batch.
+func PutOp(key, value []byte) Op { return core.PutOp(key, value) }
+
+// DeleteOp builds a tombstone operation for Batch.
+func DeleteOp(key []byte) Op { return core.DeleteOp(key) }
+
+// KV is one scan result pair.
+type KV = server.KV
+
+// Options configures a Client. Zero values select defaults.
+type Options struct {
+	// DialTimeout bounds connection establishment. Default 5s.
+	DialTimeout time.Duration
+	// RequestTimeout bounds each call. Default 30s.
+	RequestTimeout time.Duration
+	// MaxFrameBytes bounds response frames. Default 16 MiB.
+	MaxFrameBytes int
+	// MaxRetries redials and retries transient failures this many times.
+	// Default 0 (no retries).
+	MaxRetries int
+	// RetryBackoff is the initial backoff, doubled per attempt. Default
+	// 20ms.
+	RetryBackoff time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 30 * time.Second
+	}
+	if o.MaxFrameBytes <= 0 {
+		o.MaxFrameBytes = server.DefaultMaxFrameBytes
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 20 * time.Millisecond
+	}
+	return o
+}
+
+// Client is a connection to an lsmserver. Safe for concurrent use;
+// concurrent calls pipeline over the single connection.
+type Client struct {
+	addr string
+	opts Options
+
+	mu     sync.Mutex
+	w      *wire
+	closed bool
+}
+
+// Dial connects to addr. A nil opts selects defaults.
+func Dial(addr string, opts *Options) (*Client, error) {
+	o := Options{}
+	if opts != nil {
+		o = *opts
+	}
+	c := &Client{addr: addr, opts: o.withDefaults()}
+	if _, err := c.wire(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Close tears down the connection; in-flight calls fail.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	w := c.w
+	c.w = nil
+	c.closed = true
+	c.mu.Unlock()
+	if w != nil {
+		w.fail(ErrClosed)
+	}
+	return nil
+}
+
+// Get returns the value of key, or ErrNotFound.
+func (c *Client) Get(key []byte) ([]byte, error) {
+	resp, err := c.call(&server.Request{Op: server.OpGet, Key: key}, false)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Value, nil
+}
+
+// Put stores key -> value.
+func (c *Client) Put(key, value []byte) error {
+	_, err := c.call(&server.Request{Op: server.OpPut, Key: key, Value: value}, false)
+	return err
+}
+
+// Delete removes key.
+func (c *Client) Delete(key []byte) error {
+	_, err := c.call(&server.Request{Op: server.OpDelete, Key: key}, false)
+	return err
+}
+
+// Batch applies ops atomically on the server.
+func (c *Client) Batch(ops []Op) error {
+	_, err := c.call(&server.Request{Op: server.OpBatch, Ops: ops}, false)
+	return err
+}
+
+// Scan returns up to limit pairs in [lo, hi] (limit <= 0 uses the server
+// default). more reports a truncated result; continue with ScanAll or a
+// follow-up Scan from just past the last key.
+func (c *Client) Scan(lo, hi []byte, limit int) (pairs []KV, more bool, err error) {
+	if limit < 0 {
+		limit = 0
+	}
+	resp, err := c.call(&server.Request{Op: server.OpScan, Lo: lo, Hi: hi, Limit: uint64(limit)}, true)
+	if err != nil {
+		return nil, false, err
+	}
+	return resp.Pairs, resp.More, nil
+}
+
+// ScanAll streams every pair in [lo, hi] to fn, paging through truncated
+// responses, until fn returns false or the range is exhausted.
+func (c *Client) ScanAll(lo, hi []byte, fn func(key, value []byte) bool) error {
+	for {
+		pairs, more, err := c.Scan(lo, hi, 0)
+		if err != nil {
+			return err
+		}
+		for _, p := range pairs {
+			if !fn(p.Key, p.Value) {
+				return nil
+			}
+		}
+		if !more || len(pairs) == 0 {
+			return nil
+		}
+		// Resume just past the last key: appending 0x00 yields the
+		// smallest key strictly greater under bytewise order.
+		last := pairs[len(pairs)-1].Key
+		lo = append(append(make([]byte, 0, len(last)+1), last...), 0)
+	}
+}
+
+// Stats returns the server's /metrics JSON (server counters + engine
+// iostat snapshot).
+func (c *Client) Stats() ([]byte, error) {
+	resp, err := c.call(&server.Request{Op: server.OpStats}, false)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Value, nil
+}
+
+// Ping round-trips an empty request.
+func (c *Client) Ping() error {
+	_, err := c.call(&server.Request{Op: server.OpPing}, false)
+	return err
+}
+
+// call runs one request with the retry policy.
+func (c *Client) call(req *server.Request, scan bool) (server.Response, error) {
+	backoff := c.opts.RetryBackoff
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		w, err := c.wire()
+		if err == nil {
+			var resp server.Response
+			resp, err = c.roundTrip(w, req, scan)
+			if err == nil {
+				return resp, nil
+			}
+			if !errors.Is(err, ErrThrottled) {
+				// The connection may be poisoned; retries redial.
+				c.dropWire(w, err)
+			}
+		}
+		lastErr = err
+		if attempt >= c.opts.MaxRetries || !transient(err) {
+			return server.Response{}, lastErr
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+	}
+}
+
+// roundTrip issues req on w and waits for its response.
+func (c *Client) roundTrip(w *wire, req *server.Request, scan bool) (server.Response, error) {
+	p, err := w.send(req, scan)
+	if err != nil {
+		return server.Response{}, err
+	}
+	timer := time.NewTimer(c.opts.RequestTimeout)
+	defer timer.Stop()
+	select {
+	case resp, ok := <-p.ch:
+		if !ok {
+			return server.Response{}, w.errOr(io.ErrUnexpectedEOF)
+		}
+		switch resp.Status {
+		case server.StatusOK:
+			return resp, nil
+		case server.StatusNotFound:
+			return resp, ErrNotFound
+		case server.StatusThrottled:
+			return resp, ErrThrottled
+		case server.StatusShutdown:
+			return resp, ErrShutdown
+		default:
+			return resp, fmt.Errorf("client: server error: %s", resp.Value)
+		}
+	case <-timer.C:
+		w.abandon(req.ID)
+		return server.Response{}, ErrTimeout
+	}
+}
+
+// transient reports whether err is worth a redial-and-retry. ErrNotFound
+// and server-side request errors are definitive; connection failures,
+// timeouts, throttling, and drain are not.
+func transient(err error) bool {
+	if err == nil || errors.Is(err, ErrNotFound) || errors.Is(err, ErrClosed) {
+		return false
+	}
+	if errors.Is(err, ErrThrottled) || errors.Is(err, ErrShutdown) || errors.Is(err, ErrTimeout) {
+		return true
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return true
+	}
+	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed)
+}
+
+// wire returns the live connection, dialing if needed.
+func (c *Client) wire() (*wire, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	if c.w != nil {
+		select {
+		case <-c.w.dead:
+			c.w = nil
+		default:
+			return c.w, nil
+		}
+	}
+	w, err := dialWire(c.addr, c.opts)
+	if err != nil {
+		return nil, err
+	}
+	c.w = w
+	return w, nil
+}
+
+// dropWire discards w (if still current) after a failure.
+func (c *Client) dropWire(w *wire, err error) {
+	c.mu.Lock()
+	if c.w == w {
+		c.w = nil
+	}
+	c.mu.Unlock()
+	w.fail(err)
+}
+
+// ---------------------------------------------------------------------------
+// wire: one live connection with a demultiplexing read loop.
+// ---------------------------------------------------------------------------
+
+type pendingCall struct {
+	ch   chan server.Response
+	scan bool
+}
+
+type wire struct {
+	nc net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+
+	wmu sync.Mutex // serializes frame writes
+
+	pmu     sync.Mutex
+	pending map[uint32]*pendingCall
+	err     error
+
+	nextID atomic.Uint32
+	dead   chan struct{}
+	once   sync.Once
+}
+
+func dialWire(addr string, opts Options) (*wire, error) {
+	nc, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	w := &wire{
+		nc:      nc,
+		br:      bufio.NewReaderSize(nc, 64<<10),
+		bw:      bufio.NewWriterSize(nc, 64<<10),
+		pending: make(map[uint32]*pendingCall),
+		dead:    make(chan struct{}),
+	}
+	go w.readLoop(opts.MaxFrameBytes)
+	return w, nil
+}
+
+// send registers a pending call and writes the request frame.
+func (w *wire) send(req *server.Request, scan bool) (*pendingCall, error) {
+	req.ID = w.nextID.Add(1)
+	p := &pendingCall{ch: make(chan server.Response, 1), scan: scan}
+	w.pmu.Lock()
+	if w.err != nil {
+		err := w.err
+		w.pmu.Unlock()
+		return nil, err
+	}
+	w.pending[req.ID] = p
+	w.pmu.Unlock()
+
+	payload := server.AppendRequest(nil, req)
+	w.wmu.Lock()
+	err := server.WriteFrame(w.bw, payload)
+	if err == nil {
+		err = w.bw.Flush()
+	}
+	w.wmu.Unlock()
+	if err != nil {
+		w.fail(err)
+		return nil, err
+	}
+	return p, nil
+}
+
+// abandon forgets a timed-out call so its late response is discarded.
+func (w *wire) abandon(id uint32) {
+	w.pmu.Lock()
+	delete(w.pending, id)
+	w.pmu.Unlock()
+}
+
+// fail poisons the wire: the connection closes and every pending call's
+// channel is closed (callers read the error via errOr).
+func (w *wire) fail(err error) {
+	w.once.Do(func() {
+		w.pmu.Lock()
+		w.err = err
+		calls := w.pending
+		w.pending = make(map[uint32]*pendingCall)
+		w.pmu.Unlock()
+		close(w.dead)
+		w.nc.Close()
+		for _, p := range calls {
+			close(p.ch)
+		}
+	})
+}
+
+func (w *wire) errOr(fallback error) error {
+	w.pmu.Lock()
+	defer w.pmu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	return fallback
+}
+
+func (w *wire) readLoop(maxFrame int) {
+	for {
+		payload, err := server.ReadFrame(w.br, maxFrame)
+		if err != nil {
+			w.fail(err)
+			return
+		}
+		id := binary.LittleEndian.Uint32(payload)
+		w.pmu.Lock()
+		p := w.pending[id]
+		delete(w.pending, id)
+		w.pmu.Unlock()
+		if p == nil {
+			continue // abandoned (timed out) request
+		}
+		resp, err := server.DecodeResponse(payload, p.scan)
+		if err != nil {
+			w.fail(err)
+			return
+		}
+		p.ch <- resp
+	}
+}

@@ -1,0 +1,178 @@
+package client_test
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lsmkv/internal/client"
+	"lsmkv/internal/core"
+	"lsmkv/internal/server"
+	"lsmkv/internal/vfs"
+)
+
+// startBackend runs a real server on an in-memory engine and returns its
+// address.
+func startBackend(t *testing.T) string {
+	t.Helper()
+	db, err := core.Open(core.Options{Dir: "db", FS: vfs.NewMem(), MemtableBytes: 4 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{DB: db, SyncWrites: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		<-done
+		db.Close()
+	})
+	for srv.Addr() == "" {
+		time.Sleep(time.Millisecond)
+	}
+	return srv.Addr()
+}
+
+// flakyProxy forwards TCP to backend but kills the first `kill`
+// accepted connections without forwarding a byte, simulating a server
+// restart or LB failover mid-session.
+func flakyProxy(t *testing.T, backend string, kill int) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	var accepted atomic.Int64
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			if accepted.Add(1) <= int64(kill) {
+				c.Close()
+				continue
+			}
+			up, err := net.Dial("tcp", backend)
+			if err != nil {
+				c.Close()
+				continue
+			}
+			go func() { io.Copy(up, c); up.Close() }()
+			go func() { io.Copy(c, up); c.Close() }()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestRetryRedials: the client transparently survives dead connections
+// when MaxRetries is set. The proxy kills the first two connections, so
+// the first Put only succeeds on the third dial.
+func TestRetryRedials(t *testing.T) {
+	backend := startBackend(t)
+	addr := flakyProxy(t, backend, 2)
+
+	// Dial tolerates the first kill because it only needs the TCP accept;
+	// the read loop discovers the close and the next call redials.
+	cl, err := client.Dial(addr, &client.Options{
+		MaxRetries:   4,
+		RetryBackoff: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if err := cl.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatalf("put through flaky proxy: %v", err)
+	}
+	v, err := cl.Get([]byte("k"))
+	if err != nil || string(v) != "v" {
+		t.Fatalf("get after retries = %q, %v", v, err)
+	}
+}
+
+// TestNoRetryFailsFast: with retries disabled a dead connection is an
+// error, not a hang.
+func TestNoRetryFailsFast(t *testing.T) {
+	backend := startBackend(t)
+	addr := flakyProxy(t, backend, 1)
+	cl, err := client.Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err) // accept succeeded; close comes later
+	}
+	defer cl.Close()
+	if err := cl.Put([]byte("k"), []byte("v")); err == nil {
+		t.Fatal("put over killed connection succeeded without retries")
+	}
+}
+
+// TestPipelinedCorrectness: concurrent callers on one client must each
+// get the response to their own request (ID demultiplexing).
+func TestPipelinedCorrectness(t *testing.T) {
+	addr := startBackend(t)
+	cl, err := client.Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	const workers, per = 16, 50
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				key := []byte(fmt.Sprintf("w%02d-%03d", w, i))
+				val := []byte(fmt.Sprintf("val-%02d-%03d", w, i))
+				if err := cl.Put(key, val); err != nil {
+					errs <- err
+					return
+				}
+				got, err := cl.Get(key)
+				if err != nil {
+					errs <- fmt.Errorf("get %s: %w", key, err)
+					return
+				}
+				if string(got) != string(val) {
+					errs <- fmt.Errorf("get %s = %q, want %q (cross-wired response?)", key, got, val)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestClosedClient(t *testing.T) {
+	addr := startBackend(t)
+	cl, err := client.Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Close()
+	if err := cl.Ping(); err != client.ErrClosed {
+		t.Fatalf("ping after close: %v, want ErrClosed", err)
+	}
+}

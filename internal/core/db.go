@@ -272,6 +272,10 @@ func (db *DB) write(kind kv.Kind, key, value []byte) error {
 		if err := db.wal.AddRecord(rec); err != nil {
 			return err
 		}
+		db.opts.Stats.WALRecords.Add(1)
+		if db.opts.WALSync {
+			db.opts.Stats.WALSyncs.Add(1)
+		}
 	}
 	db.mem.Add(kv.Entry{Key: kv.MakeInternalKey(key, seq, storedKind), Value: storedValue})
 	db.opts.Stats.BytesWritten.Add(int64(len(key) + len(storedValue)))

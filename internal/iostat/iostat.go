@@ -53,6 +53,16 @@ type Stats struct {
 	RangeLookups atomic.Int64
 	// VlogReads counts extra value-log hops under key-value separation.
 	VlogReads atomic.Int64
+	// WALRecords counts records appended to the write-ahead log; WALSyncs
+	// counts the fsyncs that made them durable. Group commit's whole
+	// purpose is WALSyncs << write count — the server's fsyncs/op metric
+	// is WALSyncs over BatchedOps.
+	WALRecords atomic.Int64
+	WALSyncs   atomic.Int64
+	// BatchCommits counts ApplyBatch calls; BatchedOps the operations
+	// they carried. BatchedOps/BatchCommits is the mean commit group size.
+	BatchCommits atomic.Int64
+	BatchedOps   atomic.Int64
 }
 
 // Snapshot is a point-in-time copy of every counter.
@@ -77,6 +87,10 @@ type Snapshot struct {
 	PointLookups           int64
 	RangeLookups           int64
 	VlogReads              int64
+	WALRecords             int64
+	WALSyncs               int64
+	BatchCommits           int64
+	BatchedOps             int64
 }
 
 // Snapshot copies the current counter values.
@@ -102,6 +116,10 @@ func (s *Stats) Snapshot() Snapshot {
 		PointLookups:           s.PointLookups.Load(),
 		RangeLookups:           s.RangeLookups.Load(),
 		VlogReads:              s.VlogReads.Load(),
+		WALRecords:             s.WALRecords.Load(),
+		WALSyncs:               s.WALSyncs.Load(),
+		BatchCommits:           s.BatchCommits.Load(),
+		BatchedOps:             s.BatchedOps.Load(),
 	}
 }
 
@@ -128,6 +146,10 @@ func (s Snapshot) Sub(t Snapshot) Snapshot {
 		PointLookups:           s.PointLookups - t.PointLookups,
 		RangeLookups:           s.RangeLookups - t.RangeLookups,
 		VlogReads:              s.VlogReads - t.VlogReads,
+		WALRecords:             s.WALRecords - t.WALRecords,
+		WALSyncs:               s.WALSyncs - t.WALSyncs,
+		BatchCommits:           s.BatchCommits - t.BatchCommits,
+		BatchedOps:             s.BatchedOps - t.BatchedOps,
 	}
 }
 

@@ -1,0 +1,86 @@
+package server
+
+import (
+	"lsmkv/internal/core"
+)
+
+// commitReq is one write request (PUT, DELETE, or BATCH) waiting for the
+// group-commit loop. done receives the commit outcome exactly once.
+type commitReq struct {
+	ops  []core.BatchOp
+	done chan error
+}
+
+// committer is the group-commit loop: a single goroutine drains the
+// submission channel, coalescing every write request it can grab (up to
+// maxOps engine ops) into one ApplyBatch call — one WAL record and, when
+// sync is on, one fsync for the whole group. Under load the group grows
+// toward maxOps and the fsync cost amortizes across writers; idle, each
+// write commits alone with no added latency.
+type committer struct {
+	db      Engine
+	ch      chan *commitReq
+	maxOps  int
+	sync    bool
+	metrics *Metrics
+	done    chan struct{}
+}
+
+func newCommitter(db Engine, maxOps int, sync bool, m *Metrics) *committer {
+	return &committer{
+		db:      db,
+		ch:      make(chan *commitReq, 4096),
+		maxOps:  maxOps,
+		sync:    sync,
+		metrics: m,
+		done:    make(chan struct{}),
+	}
+}
+
+func (c *committer) start() { go c.loop() }
+
+// submit enqueues a write for the next commit group. It blocks when the
+// queue is full — backpressure on the submitting connection.
+func (c *committer) submit(req *commitReq) {
+	c.metrics.CommitQueue.Add(1)
+	c.ch <- req
+}
+
+// stop closes the submission channel and waits for the loop to drain
+// every queued request. Callers must guarantee no submit is in flight.
+func (c *committer) stop() {
+	close(c.ch)
+	<-c.done
+}
+
+func (c *committer) loop() {
+	defer close(c.done)
+	reqs := make([]*commitReq, 0, 64)
+	ops := make([]core.BatchOp, 0, 256)
+	for first := range c.ch {
+		reqs = append(reqs[:0], first)
+		ops = append(ops[:0], first.ops...)
+		// Grab everything already queued without blocking: the writers
+		// behind these requests are all waiting on an fsync anyway, so
+		// folding them into this group is free latency-wise.
+	drain:
+		for len(ops) < c.maxOps {
+			select {
+			case r, open := <-c.ch:
+				if !open {
+					break drain
+				}
+				reqs = append(reqs, r)
+				ops = append(ops, r.ops...)
+			default:
+				break drain
+			}
+		}
+		c.metrics.CommitQueue.Add(int64(-len(reqs)))
+		err := c.db.ApplyBatch(ops, c.sync)
+		c.metrics.observeCommit(len(ops))
+		for _, r := range reqs {
+			r.done <- err
+		}
+	}
+}

@@ -1,0 +1,305 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"net"
+	"sync"
+	"time"
+
+	"lsmkv/internal/core"
+)
+
+// conn is one client connection. Three goroutines cooperate to give
+// pipelining without unbounded buffering:
+//
+//   - readLoop decodes frames; reads (GET/SCAN/STATS/PING) execute
+//     inline, writes are handed to the server-wide group committer and a
+//     pending-ack token is queued on acks.
+//   - ackLoop awaits each write's commit outcome in submission order and
+//     emits its response.
+//   - writeLoop serializes responses from out, flushing once the queue
+//     goes momentarily idle so pipelined responses share syscalls.
+//
+// Responses carry request IDs, so reads and writes may complete out of
+// order relative to each other; writes are acknowledged only after their
+// commit group is applied (and fsynced when SyncWrites is on). A client
+// that wants read-your-writes on one connection waits for the write ack
+// before issuing the read.
+type conn struct {
+	srv *Server
+	nc  net.Conn
+	br  *bufio.Reader
+	bw  *bufio.Writer
+
+	out  chan []byte
+	acks chan *pendingWrite
+
+	dmu      sync.Mutex // guards read-deadline arming vs drain
+	draining bool
+}
+
+// pendingWrite tracks one write awaiting its commit group.
+type pendingWrite struct {
+	id    uint32
+	op    Opcode
+	start time.Time
+	req   *commitReq
+}
+
+func newConn(s *Server, nc net.Conn) *conn {
+	return &conn{
+		srv:  s,
+		nc:   nc,
+		br:   bufio.NewReaderSize(nc, 64<<10),
+		bw:   bufio.NewWriterSize(nc, 64<<10),
+		out:  make(chan []byte, 256),
+		acks: make(chan *pendingWrite, 1024),
+	}
+}
+
+func (c *conn) run() {
+	writerDone := make(chan struct{})
+	go c.writeLoop(writerDone)
+	go c.ackLoop()
+	c.readLoop()
+	// readLoop is the only sender on acks; ackLoop drains what remains
+	// (every queued write still gets its response) then closes out, and
+	// writeLoop flushes before exiting. That ordering is the drain
+	// guarantee: no acknowledged-or-accepted request is dropped.
+	close(c.acks)
+	<-writerDone
+	c.nc.Close()
+	c.srv.removeConn(c)
+}
+
+// beginDrain stops this connection from decoding further requests:
+// in-flight ones still complete and their responses are written.
+func (c *conn) beginDrain() {
+	c.dmu.Lock()
+	c.draining = true
+	c.nc.SetReadDeadline(time.Now())
+	c.dmu.Unlock()
+}
+
+// armReadDeadline sets the idle deadline unless the connection is
+// draining (in which case the now-deadline must stay in force).
+func (c *conn) armReadDeadline() bool {
+	c.dmu.Lock()
+	defer c.dmu.Unlock()
+	if c.draining {
+		return false
+	}
+	c.nc.SetReadDeadline(time.Now().Add(c.srv.cfg.IdleTimeout))
+	return true
+}
+
+func (c *conn) readLoop() {
+	for {
+		if !c.armReadDeadline() {
+			return
+		}
+		payload, err := ReadFrame(c.br, c.srv.cfg.MaxFrameBytes)
+		if err != nil {
+			if errors.Is(err, ErrFrameTooLarge) || errors.Is(err, ErrMalformed) {
+				// Framing is lost; tell the client why, then hang up.
+				c.srv.metrics.DecodeErrors.Add(1)
+				c.send(AppendResponse(nil, &Response{Status: StatusError, Value: []byte(err.Error())}))
+			}
+			return
+		}
+		c.srv.metrics.BytesIn.Add(int64(len(payload) + frameHeaderLen))
+		req, err := DecodeRequest(payload)
+		if err != nil {
+			// Frame boundary intact, body malformed: answer and carry on.
+			c.srv.metrics.DecodeErrors.Add(1)
+			c.send(AppendResponse(nil, &Response{ID: req.ID, Status: StatusError, Value: []byte(err.Error())}))
+			continue
+		}
+		c.dispatch(&req)
+	}
+}
+
+func (c *conn) dispatch(req *Request) {
+	m := c.srv.metrics
+	m.Inflight.Add(1)
+	start := time.Now()
+
+	if c.srv.bucket != nil && req.Op != OpPing {
+		wait, ok := c.srv.bucket.Reserve(c.srv.cfg.MaxThrottleDelay)
+		if !ok {
+			m.Throttled.Add(1)
+			m.observeOp(req.Op, time.Since(start))
+			c.send(AppendResponse(nil, &Response{ID: req.ID, Status: StatusThrottled, Value: []byte("rate limit exceeded")}))
+			return
+		}
+		if wait > 0 {
+			// Sleeping in the read loop is the backpressure: this
+			// connection stops feeding the server until its debt clears.
+			m.ThrottleWaitNs.Add(int64(wait))
+			time.Sleep(wait)
+		}
+	}
+
+	switch req.Op {
+	case OpPing:
+		c.finishRead(req, start, &Response{ID: req.ID, Status: StatusOK})
+	case OpGet:
+		c.handleGet(req, start)
+	case OpScan:
+		c.handleScan(req, start)
+	case OpStats:
+		c.handleStats(req, start)
+	case OpPut:
+		c.submitWrite(req, start, []core.BatchOp{core.PutOp(req.Key, req.Value)})
+	case OpDelete:
+		c.submitWrite(req, start, []core.BatchOp{core.DeleteOp(req.Key)})
+	case OpBatch:
+		c.submitWrite(req, start, req.Ops)
+	}
+}
+
+// finishRead records metrics for an inline-served request and sends its
+// response.
+func (c *conn) finishRead(req *Request, start time.Time, resp *Response) {
+	c.srv.metrics.observeOp(req.Op, time.Since(start))
+	c.send(AppendResponse(nil, resp))
+}
+
+func (c *conn) handleGet(req *Request, start time.Time) {
+	value, err := c.srv.cfg.DB.Get(req.Key)
+	resp := Response{ID: req.ID, Status: StatusOK, Value: value}
+	if errors.Is(err, core.ErrNotFound) {
+		resp = Response{ID: req.ID, Status: StatusNotFound}
+	} else if err != nil {
+		resp = errResponse(req.ID, err)
+	}
+	c.finishRead(req, start, &resp)
+}
+
+func (c *conn) handleScan(req *Request, start time.Time) {
+	limit := int(req.Limit)
+	if limit <= 0 || limit > c.srv.cfg.MaxScanResults {
+		limit = c.srv.cfg.MaxScanResults
+	}
+	byteBudget := c.srv.cfg.MaxFrameBytes / 2
+	resp := Response{ID: req.ID, Status: StatusOK, Pairs: make([]KV, 0, 16)}
+	used := 0
+	err := c.srv.cfg.DB.Scan(req.Lo, req.Hi, func(k, v []byte) bool {
+		if len(resp.Pairs) >= limit || used >= byteBudget {
+			resp.More = true
+			return false
+		}
+		// The callback's slices are only valid during the call.
+		resp.Pairs = append(resp.Pairs, KV{
+			Key:   append([]byte(nil), k...),
+			Value: append([]byte(nil), v...),
+		})
+		used += len(k) + len(v) + 16
+		return true
+	})
+	if err != nil {
+		resp = errResponse(req.ID, err)
+	}
+	c.finishRead(req, start, &resp)
+}
+
+func (c *conn) handleStats(req *Request, start time.Time) {
+	body, err := json.Marshal(metricsPayload{
+		Server: c.srv.metrics.Snapshot(),
+		Engine: c.srv.cfg.DB.Stats(),
+	})
+	resp := Response{ID: req.ID, Status: StatusOK, Value: body}
+	if err != nil {
+		resp = errResponse(req.ID, err)
+	}
+	c.finishRead(req, start, &resp)
+}
+
+// submitWrite hands ops to the group committer and queues the ack. Both
+// channels apply backpressure by blocking the read loop when full.
+func (c *conn) submitWrite(req *Request, start time.Time, ops []core.BatchOp) {
+	if len(ops) == 0 {
+		c.finishRead(req, start, &Response{ID: req.ID, Status: StatusOK})
+		return
+	}
+	cr := &commitReq{ops: ops, done: make(chan error, 1)}
+	c.srv.committer.submit(cr)
+	c.acks <- &pendingWrite{id: req.ID, op: req.Op, start: start, req: cr}
+}
+
+func (c *conn) ackLoop() {
+	for pw := range c.acks {
+		err := <-pw.req.done
+		resp := Response{ID: pw.id, Status: StatusOK}
+		if err != nil {
+			resp = errResponse(pw.id, err)
+		}
+		c.srv.metrics.observeOp(pw.op, time.Since(pw.start))
+		c.send(AppendResponse(nil, &resp))
+	}
+	close(c.out)
+}
+
+func errResponse(id uint32, err error) Response {
+	status := StatusError
+	if errors.Is(err, core.ErrClosed) {
+		status = StatusShutdown
+	}
+	return Response{ID: id, Status: status, Value: []byte(err.Error())}
+}
+
+// send queues an encoded response payload; it blocks when the client
+// stops reading (bounded buffering, natural backpressure).
+func (c *conn) send(payload []byte) {
+	c.out <- payload
+}
+
+func (c *conn) writeLoop(done chan struct{}) {
+	defer close(done)
+	broken := false
+	write := func(p []byte) {
+		if broken {
+			return
+		}
+		c.nc.SetWriteDeadline(time.Now().Add(c.srv.cfg.WriteTimeout))
+		if err := WriteFrame(c.bw, p); err != nil {
+			// The connection is dead: keep draining out so the other
+			// goroutines never block, and close to unblock the reader.
+			broken = true
+			c.nc.Close()
+			return
+		}
+		c.srv.metrics.BytesOut.Add(int64(len(p) + frameHeaderLen))
+	}
+	flush := func() {
+		if broken {
+			return
+		}
+		c.nc.SetWriteDeadline(time.Now().Add(c.srv.cfg.WriteTimeout))
+		if err := c.bw.Flush(); err != nil {
+			broken = true
+			c.nc.Close()
+		}
+	}
+	for p := range c.out {
+		write(p)
+		// Fold every already-queued response into this flush: pipelined
+		// responses share syscalls the same way commits share fsyncs.
+	batch:
+		for {
+			select {
+			case p2, open := <-c.out:
+				if !open {
+					break batch
+				}
+				write(p2)
+			default:
+				break batch
+			}
+		}
+		flush()
+	}
+	flush()
+}

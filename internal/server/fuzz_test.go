@@ -1,0 +1,102 @@
+package server
+
+import (
+	"bytes"
+	"testing"
+
+	"lsmkv/internal/core"
+)
+
+// FuzzDecodeRequest: arbitrary frame payloads must either decode or
+// return ErrMalformed — never panic, and never allocate beyond the input
+// (the decoder only ever subslices its payload and bounds the ops slice
+// by the remaining bytes). Valid decodes must survive a re-encode/decode
+// round trip unchanged (uvarints admit non-minimal encodings, so the
+// bytes themselves need not be canonical).
+func FuzzDecodeRequest(f *testing.F) {
+	seeds := []Request{
+		{ID: 1, Op: OpPing},
+		{ID: 2, Op: OpStats},
+		{ID: 3, Op: OpGet, Key: []byte("key")},
+		{ID: 4, Op: OpDelete, Key: []byte("k")},
+		{ID: 5, Op: OpPut, Key: []byte("k"), Value: []byte("value")},
+		{ID: 6, Op: OpScan, Lo: []byte("a"), Hi: []byte("z"), Limit: 10},
+		{ID: 7, Op: OpBatch, Ops: []core.BatchOp{
+			core.PutOp([]byte("a"), []byte("1")),
+			core.DeleteOp([]byte("b")),
+		}},
+	}
+	for _, req := range seeds {
+		f.Add(AppendRequest(nil, &req))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 99, 1, 2, 3})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		req, err := DecodeRequest(payload)
+		if err != nil {
+			return
+		}
+		re := AppendRequest(nil, &req)
+		req2, err := DecodeRequest(re)
+		if err != nil {
+			t.Fatalf("re-encoded request failed to decode: %v (payload %x)", err, re)
+		}
+		if !requestsEqual(&req, &req2) {
+			t.Fatalf("round trip changed request:\n in  %+v\n out %+v", req, req2)
+		}
+	})
+}
+
+func requestsEqual(a, b *Request) bool {
+	if a.ID != b.ID || a.Op != b.Op || a.Limit != b.Limit ||
+		!bytes.Equal(a.Key, b.Key) || !bytes.Equal(a.Value, b.Value) ||
+		!bytes.Equal(a.Lo, b.Lo) || !bytes.Equal(a.Hi, b.Hi) ||
+		len(a.Ops) != len(b.Ops) {
+		return false
+	}
+	for i := range a.Ops {
+		if a.Ops[i].Kind != b.Ops[i].Kind ||
+			!bytes.Equal(a.Ops[i].Key, b.Ops[i].Key) ||
+			!bytes.Equal(a.Ops[i].Value, b.Ops[i].Value) {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzDecodeResponse mirrors the request fuzzer for the client-side
+// decoder, in both scan and non-scan shapes.
+func FuzzDecodeResponse(f *testing.F) {
+	okv := Response{ID: 1, Status: StatusOK, Value: []byte("v")}
+	scan := Response{ID: 2, Status: StatusOK, Pairs: []KV{{Key: []byte("a"), Value: []byte("1")}}, More: true}
+	f.Add(AppendResponse(nil, &okv), false)
+	f.Add(AppendResponse(nil, &scan), true)
+	f.Add([]byte{}, true)
+	f.Add(bytes.Repeat([]byte{0xFE}, 32), true)
+
+	f.Fuzz(func(t *testing.T, payload []byte, asScan bool) {
+		resp, err := DecodeResponse(payload, asScan)
+		if err != nil {
+			return
+		}
+		if !asScan || resp.Status != StatusOK {
+			return // Value aliases payload; nothing further to pin.
+		}
+		re := AppendResponse(nil, &resp)
+		resp2, err := DecodeResponse(re, true)
+		if err != nil {
+			t.Fatalf("re-encoded response failed to decode: %v", err)
+		}
+		if resp2.ID != resp.ID || resp2.More != resp.More || len(resp2.Pairs) != len(resp.Pairs) {
+			t.Fatalf("round trip changed response:\n in  %+v\n out %+v", resp, resp2)
+		}
+		for i := range resp.Pairs {
+			if !bytes.Equal(resp.Pairs[i].Key, resp2.Pairs[i].Key) ||
+				!bytes.Equal(resp.Pairs[i].Value, resp2.Pairs[i].Value) {
+				t.Fatalf("round trip changed pair %d", i)
+			}
+		}
+	})
+}

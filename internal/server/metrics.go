@@ -1,0 +1,194 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"lsmkv/internal/iostat"
+)
+
+// commitHistBuckets sizes the commit-batch histogram: bucket i counts
+// commits of [2^i, 2^(i+1)) ops, the last bucket is open-ended.
+const commitHistBuckets = 11
+
+// Metrics is the server's live instrument: connection lifecycle, request
+// counts and latencies per opcode, backpressure outcomes, and the
+// group-commit loop's coalescing behavior. All fields are safe for
+// concurrent use; read them through Snapshot.
+type Metrics struct {
+	start time.Time
+
+	ConnsAccepted atomic.Int64
+	ConnsRejected atomic.Int64 // over the connection limit
+	ConnsActive   atomic.Int64
+
+	// Inflight counts requests decoded but not yet answered.
+	Inflight atomic.Int64
+	// Throttled counts requests shed by the token bucket.
+	Throttled atomic.Int64
+	// ThrottleWaitNs accumulates time writers spent waiting for tokens.
+	ThrottleWaitNs atomic.Int64
+	// DecodeErrors counts malformed frames.
+	DecodeErrors atomic.Int64
+
+	BytesIn  atomic.Int64
+	BytesOut atomic.Int64
+
+	// Per-opcode request counts and total service latency.
+	Requests  [opMax]atomic.Int64
+	LatencyNs [opMax]atomic.Int64
+
+	// CommitQueue is the number of write requests waiting for the
+	// group-commit loop (gauge).
+	CommitQueue atomic.Int64
+	// CommitBatches / CommitOps describe coalescing: CommitOps over
+	// CommitBatches is the mean commit group size.
+	CommitBatches atomic.Int64
+	CommitOps     atomic.Int64
+	// BatchSizeHist buckets commit group sizes by power of two.
+	BatchSizeHist [commitHistBuckets]atomic.Int64
+}
+
+func newMetrics() *Metrics { return &Metrics{start: time.Now()} }
+
+// observeOp records one served request of the given opcode.
+func (m *Metrics) observeOp(op Opcode, dur time.Duration) {
+	if op < opMax {
+		m.Requests[op].Add(1)
+		m.LatencyNs[op].Add(int64(dur))
+	}
+	m.Inflight.Add(-1)
+}
+
+// observeCommit records one group commit of n ops.
+func (m *Metrics) observeCommit(n int) {
+	m.CommitBatches.Add(1)
+	m.CommitOps.Add(int64(n))
+	b := 0
+	for v := n; v > 1 && b < commitHistBuckets-1; v >>= 1 {
+		b++
+	}
+	m.BatchSizeHist[b].Add(1)
+}
+
+// OpSnapshot is one opcode's served-request summary.
+type OpSnapshot struct {
+	Count     int64   `json:"count"`
+	MeanLatUs float64 `json:"mean_latency_us"`
+}
+
+// Snapshot is a point-in-time copy of the server metrics, shaped for
+// JSON rendering on /metrics.
+type Snapshot struct {
+	UptimeSec      float64               `json:"uptime_sec"`
+	ConnsAccepted  int64                 `json:"conns_accepted"`
+	ConnsRejected  int64                 `json:"conns_rejected"`
+	ConnsActive    int64                 `json:"conns_active"`
+	Inflight       int64                 `json:"inflight"`
+	Throttled      int64                 `json:"throttled"`
+	ThrottleWaitMs float64               `json:"throttle_wait_ms"`
+	DecodeErrors   int64                 `json:"decode_errors"`
+	BytesIn        int64                 `json:"bytes_in"`
+	BytesOut       int64                 `json:"bytes_out"`
+	Ops            map[string]OpSnapshot `json:"ops"`
+	CommitQueue    int64                 `json:"commit_queue"`
+	CommitBatches  int64                 `json:"commit_batches"`
+	CommitOps      int64                 `json:"commit_ops"`
+	MeanBatchSize  float64               `json:"mean_batch_size"`
+	BatchSizeHist  map[string]int64      `json:"batch_size_hist"`
+}
+
+// Snapshot copies the current metric values.
+func (m *Metrics) Snapshot() Snapshot {
+	s := Snapshot{
+		UptimeSec:      time.Since(m.start).Seconds(),
+		ConnsAccepted:  m.ConnsAccepted.Load(),
+		ConnsRejected:  m.ConnsRejected.Load(),
+		ConnsActive:    m.ConnsActive.Load(),
+		Inflight:       m.Inflight.Load(),
+		Throttled:      m.Throttled.Load(),
+		ThrottleWaitMs: float64(m.ThrottleWaitNs.Load()) / 1e6,
+		DecodeErrors:   m.DecodeErrors.Load(),
+		BytesIn:        m.BytesIn.Load(),
+		BytesOut:       m.BytesOut.Load(),
+		Ops:            map[string]OpSnapshot{},
+		CommitQueue:    m.CommitQueue.Load(),
+		CommitBatches:  m.CommitBatches.Load(),
+		CommitOps:      m.CommitOps.Load(),
+		BatchSizeHist:  map[string]int64{},
+	}
+	if s.CommitBatches > 0 {
+		s.MeanBatchSize = float64(s.CommitOps) / float64(s.CommitBatches)
+	}
+	for op := Opcode(1); op < opMax; op++ {
+		n := m.Requests[op].Load()
+		if n == 0 {
+			continue
+		}
+		s.Ops[op.String()] = OpSnapshot{
+			Count:     n,
+			MeanLatUs: float64(m.LatencyNs[op].Load()) / float64(n) / 1e3,
+		}
+	}
+	lo := 1
+	for i := 0; i < commitHistBuckets; i++ {
+		if v := m.BatchSizeHist[i].Load(); v != 0 {
+			key := fmt1(lo)
+			s.BatchSizeHist[key] = v
+		}
+		lo <<= 1
+	}
+	return s
+}
+
+func fmt1(lo int) string {
+	// Bucket labels: "1", "2", "4", ... "1024+" for the open tail.
+	const tail = 1 << (commitHistBuckets - 1)
+	if lo >= tail {
+		return itoa(tail) + "+"
+	}
+	return itoa(lo)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// metricsPayload is the /metrics response body.
+type metricsPayload struct {
+	Server Snapshot        `json:"server"`
+	Engine iostat.Snapshot `json:"engine"`
+}
+
+// MetricsHandler returns an HTTP handler exposing /metrics (JSON of
+// server counters plus the engine's iostat snapshot) and /healthz (200
+// while serving, 503 while draining).
+func (s *Server) MetricsHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(metricsPayload{Server: s.metrics.Snapshot(), Engine: s.cfg.DB.Stats()})
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}

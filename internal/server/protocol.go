@@ -1,0 +1,367 @@
+// Package server implements the network serving layer over the storage
+// engine: a length-prefixed binary KV protocol with per-connection
+// pipelining, a group-commit loop that coalesces concurrent writes into
+// one engine batch and a single WAL fsync, token-bucket backpressure,
+// connection limits, read/write deadlines, graceful drain on shutdown,
+// and live metrics over HTTP.
+//
+// Wire format (both directions):
+//
+//	uint32 LE frameLen      // length of everything after these 4 bytes
+//	uint32 LE requestID     // echoed verbatim in the response
+//	uint8     opcode/status
+//	body...                 // opcode-specific, see below
+//
+// Because every response carries the request ID, a client may keep many
+// requests in flight on one connection (pipelining) and match responses
+// out of order. Request bodies use the engine's uvarint length-prefixed
+// byte strings:
+//
+//	GET    key
+//	PUT    key value
+//	DELETE key
+//	SCAN   lo hi uvarint(limit)          // limit 0 = server default
+//	BATCH  uvarint(n) then n× (uint8 kind, key[, value])  // kind 0=put 1=delete
+//	STATS  (empty)
+//	PING   (empty)
+//
+// Response bodies: GET returns the raw value; SCAN returns uint8(more),
+// uvarint(count), then count× (key value); STATS returns JSON; error
+// statuses carry the message as raw bytes.
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"lsmkv/internal/core"
+	"lsmkv/internal/kv"
+)
+
+// Opcode identifies a request operation.
+type Opcode uint8
+
+// Request opcodes.
+const (
+	OpPing   Opcode = 1
+	OpGet    Opcode = 2
+	OpPut    Opcode = 3
+	OpDelete Opcode = 4
+	OpScan   Opcode = 5
+	OpBatch  Opcode = 6
+	OpStats  Opcode = 7
+	// opMax bounds the per-opcode metric arrays.
+	opMax = 8
+)
+
+func (o Opcode) String() string {
+	switch o {
+	case OpPing:
+		return "ping"
+	case OpGet:
+		return "get"
+	case OpPut:
+		return "put"
+	case OpDelete:
+		return "delete"
+	case OpScan:
+		return "scan"
+	case OpBatch:
+		return "batch"
+	case OpStats:
+		return "stats"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// Status is the response disposition.
+type Status uint8
+
+// Response statuses.
+const (
+	StatusOK       Status = 0
+	StatusNotFound Status = 1
+	// StatusError is a request-level failure; the connection stays usable.
+	StatusError Status = 2
+	// StatusThrottled means the token bucket rejected the request; the
+	// client may retry after backoff.
+	StatusThrottled Status = 3
+	// StatusShutdown means the server is draining; retry elsewhere/later.
+	StatusShutdown Status = 4
+)
+
+// DefaultMaxFrameBytes bounds a single request or response frame.
+const DefaultMaxFrameBytes = 16 << 20
+
+// frameHeaderLen is the length prefix preceding every frame.
+const frameHeaderLen = 4
+
+// payload header: request id (4) + opcode/status (1).
+const payloadHeaderLen = 5
+
+// Protocol-level errors.
+var (
+	// ErrMalformed indicates a frame that does not parse. The connection
+	// that produced it is closed: framing is lost.
+	ErrMalformed = errors.New("server: malformed frame")
+	// ErrFrameTooLarge indicates a frame exceeding the configured bound.
+	ErrFrameTooLarge = errors.New("server: frame exceeds size limit")
+)
+
+// batch op wire kinds.
+const (
+	wireBatchPut    = 0
+	wireBatchDelete = 1
+)
+
+// Request is one decoded client request. Key/Value/Lo/Hi alias the frame
+// buffer they were decoded from.
+type Request struct {
+	ID    uint32
+	Op    Opcode
+	Key   []byte
+	Value []byte
+	Lo    []byte
+	Hi    []byte
+	Limit uint64
+	Ops   []core.BatchOp
+}
+
+// Response is one decoded server response.
+type Response struct {
+	ID     uint32
+	Status Status
+	// Value holds the GET value, the STATS JSON, or the error message.
+	Value []byte
+	// Pairs and More carry SCAN results.
+	Pairs []KV
+	More  bool
+}
+
+// KV is one scan result pair.
+type KV struct {
+	Key   []byte
+	Value []byte
+}
+
+// ReadFrame reads one length-prefixed frame payload (the bytes after the
+// length word). It returns ErrFrameTooLarge for frames over max and
+// ErrMalformed for frames too short to carry a payload header. The
+// allocation is bounded by max regardless of input.
+func ReadFrame(r io.Reader, max int) ([]byte, error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if int64(n) > int64(max) {
+		return nil, ErrFrameTooLarge
+	}
+	if n < payloadHeaderLen {
+		return nil, ErrMalformed
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return payload, nil
+}
+
+// WriteFrame writes the length prefix followed by payload.
+func WriteFrame(w *bufio.Writer, payload []byte) error {
+	var hdr [frameHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// AppendRequest encodes req as a frame payload (without the length word).
+func AppendRequest(dst []byte, req *Request) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, req.ID)
+	dst = append(dst, byte(req.Op))
+	switch req.Op {
+	case OpGet, OpDelete:
+		dst = kv.AppendLengthPrefixed(dst, req.Key)
+	case OpPut:
+		dst = kv.AppendLengthPrefixed(dst, req.Key)
+		dst = kv.AppendLengthPrefixed(dst, req.Value)
+	case OpScan:
+		dst = kv.AppendLengthPrefixed(dst, req.Lo)
+		dst = kv.AppendLengthPrefixed(dst, req.Hi)
+		dst = binary.AppendUvarint(dst, req.Limit)
+	case OpBatch:
+		dst = binary.AppendUvarint(dst, uint64(len(req.Ops)))
+		for _, op := range req.Ops {
+			if op.Kind == kv.KindDelete {
+				dst = append(dst, wireBatchDelete)
+				dst = kv.AppendLengthPrefixed(dst, op.Key)
+			} else {
+				dst = append(dst, wireBatchPut)
+				dst = kv.AppendLengthPrefixed(dst, op.Key)
+				dst = kv.AppendLengthPrefixed(dst, op.Value)
+			}
+		}
+	}
+	return dst
+}
+
+// DecodeRequest parses a frame payload into a Request. Returned byte
+// slices alias payload. Malformed input yields ErrMalformed — never a
+// panic, and never an allocation beyond the payload already read.
+func DecodeRequest(payload []byte) (Request, error) {
+	var req Request
+	if len(payload) < payloadHeaderLen {
+		return req, ErrMalformed
+	}
+	req.ID = binary.LittleEndian.Uint32(payload)
+	req.Op = Opcode(payload[4])
+	body := payload[payloadHeaderLen:]
+	var ok bool
+	switch req.Op {
+	case OpPing, OpStats:
+	case OpGet, OpDelete:
+		if req.Key, body, ok = kv.DecodeLengthPrefixed(body); !ok || len(req.Key) == 0 {
+			return req, ErrMalformed
+		}
+	case OpPut:
+		if req.Key, body, ok = kv.DecodeLengthPrefixed(body); !ok || len(req.Key) == 0 {
+			return req, ErrMalformed
+		}
+		if req.Value, body, ok = kv.DecodeLengthPrefixed(body); !ok {
+			return req, ErrMalformed
+		}
+	case OpScan:
+		if req.Lo, body, ok = kv.DecodeLengthPrefixed(body); !ok {
+			return req, ErrMalformed
+		}
+		if req.Hi, body, ok = kv.DecodeLengthPrefixed(body); !ok {
+			return req, ErrMalformed
+		}
+		var w int
+		if req.Limit, w = binary.Uvarint(body); w <= 0 {
+			return req, ErrMalformed
+		}
+		body = body[w:]
+	case OpBatch:
+		count, w := binary.Uvarint(body)
+		if w <= 0 {
+			return req, ErrMalformed
+		}
+		body = body[w:]
+		// Every op consumes at least 2 bytes, so a count beyond that is a
+		// lie; checking before allocating bounds the slice by the frame.
+		if count > uint64(len(body)/2+1) {
+			return req, ErrMalformed
+		}
+		req.Ops = make([]core.BatchOp, 0, count)
+		for i := uint64(0); i < count; i++ {
+			if len(body) < 1 {
+				return req, ErrMalformed
+			}
+			kind := body[0]
+			body = body[1:]
+			var op core.BatchOp
+			switch kind {
+			case wireBatchPut:
+				op.Kind = kv.KindSet
+				if op.Key, body, ok = kv.DecodeLengthPrefixed(body); !ok || len(op.Key) == 0 {
+					return req, ErrMalformed
+				}
+				if op.Value, body, ok = kv.DecodeLengthPrefixed(body); !ok {
+					return req, ErrMalformed
+				}
+			case wireBatchDelete:
+				op.Kind = kv.KindDelete
+				if op.Key, body, ok = kv.DecodeLengthPrefixed(body); !ok || len(op.Key) == 0 {
+					return req, ErrMalformed
+				}
+			default:
+				return req, ErrMalformed
+			}
+			req.Ops = append(req.Ops, op)
+		}
+	default:
+		return req, ErrMalformed
+	}
+	if len(body) != 0 {
+		return req, ErrMalformed
+	}
+	return req, nil
+}
+
+// AppendResponse encodes resp as a frame payload (without the length
+// word).
+func AppendResponse(dst []byte, resp *Response) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, resp.ID)
+	dst = append(dst, byte(resp.Status))
+	if resp.Pairs != nil || resp.More {
+		more := byte(0)
+		if resp.More {
+			more = 1
+		}
+		dst = append(dst, more)
+		dst = binary.AppendUvarint(dst, uint64(len(resp.Pairs)))
+		for _, p := range resp.Pairs {
+			dst = kv.AppendLengthPrefixed(dst, p.Key)
+			dst = kv.AppendLengthPrefixed(dst, p.Value)
+		}
+		return dst
+	}
+	return append(dst, resp.Value...)
+}
+
+// DecodeResponse parses a frame payload into a Response. scan selects the
+// SCAN body shape (the status byte alone cannot distinguish an empty
+// value from an empty result set). Returned slices alias payload.
+func DecodeResponse(payload []byte, scan bool) (Response, error) {
+	var resp Response
+	if len(payload) < payloadHeaderLen {
+		return resp, ErrMalformed
+	}
+	resp.ID = binary.LittleEndian.Uint32(payload)
+	resp.Status = Status(payload[4])
+	body := payload[payloadHeaderLen:]
+	if !scan || resp.Status != StatusOK {
+		resp.Value = body
+		return resp, nil
+	}
+	if len(body) < 1 {
+		return resp, ErrMalformed
+	}
+	resp.More = body[0] != 0
+	body = body[1:]
+	count, w := binary.Uvarint(body)
+	if w <= 0 {
+		return resp, ErrMalformed
+	}
+	body = body[w:]
+	if count > uint64(len(body)/2+1) {
+		return resp, ErrMalformed
+	}
+	resp.Pairs = make([]KV, 0, count)
+	for i := uint64(0); i < count; i++ {
+		var p KV
+		var ok bool
+		if p.Key, body, ok = kv.DecodeLengthPrefixed(body); !ok {
+			return resp, ErrMalformed
+		}
+		if p.Value, body, ok = kv.DecodeLengthPrefixed(body); !ok {
+			return resp, ErrMalformed
+		}
+		resp.Pairs = append(resp.Pairs, p)
+	}
+	if len(body) != 0 {
+		return resp, ErrMalformed
+	}
+	return resp, nil
+}

@@ -1,0 +1,255 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lsmkv/internal/core"
+	"lsmkv/internal/iostat"
+)
+
+// Engine is the storage surface the server fronts. Both *core.DB and the
+// public *lsmkv.DB satisfy it.
+type Engine interface {
+	Get(key []byte) ([]byte, error)
+	Scan(lo, hi []byte, fn func(key, value []byte) bool) error
+	ApplyBatch(ops []core.BatchOp, sync bool) error
+	Stats() iostat.Snapshot
+	Flush() error
+}
+
+// Config parameterizes a Server. The zero value of every field except DB
+// selects a sensible default.
+type Config struct {
+	// DB is the engine to serve (required).
+	DB Engine
+	// MaxConns bounds concurrent connections; excess accepts are closed
+	// immediately. Default 1024.
+	MaxConns int
+	// MaxFrameBytes bounds request and response frames. Default 16 MiB.
+	MaxFrameBytes int
+	// IdleTimeout closes connections with no complete request for this
+	// long. Default 5 minutes.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each response flush. Default 30 seconds.
+	WriteTimeout time.Duration
+	// RatePerSec, when positive, enables token-bucket backpressure at
+	// that many requests per second across all connections.
+	RatePerSec float64
+	// Burst is the token bucket capacity. Default max(16, RatePerSec).
+	Burst int
+	// MaxThrottleDelay is the longest a request waits for a token before
+	// being shed with StatusThrottled. Default 1 second.
+	MaxThrottleDelay time.Duration
+	// SyncWrites fsyncs each commit group before acknowledging — full
+	// durability at one fsync per group, not per write. Default off (the
+	// engine's own WALSync option still applies if set).
+	SyncWrites bool
+	// MaxCommitOps bounds the ops folded into one engine batch. Default
+	// 4096.
+	MaxCommitOps int
+	// MaxScanResults bounds pairs per SCAN response (the client sees
+	// More=true and continues from the last key). Default 4096.
+	MaxScanResults int
+	// Logf receives server event logs when set.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.DB == nil {
+		return c, errors.New("server: Config.DB is required")
+	}
+	if c.MaxConns <= 0 {
+		c.MaxConns = 1024
+	}
+	if c.MaxFrameBytes <= 0 {
+		c.MaxFrameBytes = DefaultMaxFrameBytes
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 5 * time.Minute
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 30 * time.Second
+	}
+	if c.Burst <= 0 {
+		c.Burst = 16
+		if int(c.RatePerSec) > c.Burst {
+			c.Burst = int(c.RatePerSec)
+		}
+	}
+	if c.MaxThrottleDelay <= 0 {
+		c.MaxThrottleDelay = time.Second
+	}
+	if c.MaxCommitOps <= 0 {
+		c.MaxCommitOps = 4096
+	}
+	if c.MaxScanResults <= 0 {
+		c.MaxScanResults = 4096
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c, nil
+}
+
+// Server serves the KV protocol over TCP. Create with New, start with
+// Serve or ListenAndServe, stop with Shutdown.
+type Server struct {
+	cfg       Config
+	metrics   *Metrics
+	committer *committer
+	bucket    *TokenBucket // nil when unlimited
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[*conn]struct{}
+	draining atomic.Bool
+	started  atomic.Bool
+	connWG   sync.WaitGroup
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) (*Server, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:     cfg,
+		metrics: newMetrics(),
+		conns:   make(map[*conn]struct{}),
+	}
+	s.committer = newCommitter(cfg.DB, cfg.MaxCommitOps, cfg.SyncWrites, s.metrics)
+	if cfg.RatePerSec > 0 {
+		s.bucket = NewTokenBucket(cfg.RatePerSec, cfg.Burst)
+	}
+	return s, nil
+}
+
+// Metrics exposes the live server counters.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Addr returns the listener address once serving ("" before).
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// ListenAndServe listens on addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Shutdown closes it. It returns
+// nil after a clean shutdown.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.ln != nil {
+		s.mu.Unlock()
+		return errors.New("server: already serving")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	if s.started.CompareAndSwap(false, true) {
+		s.committer.start()
+	}
+	s.cfg.Logf("server: listening on %s", ln.Addr())
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			if s.draining.Load() {
+				return nil
+			}
+			return err
+		}
+		s.metrics.ConnsAccepted.Add(1)
+		if !s.admit(nc) {
+			continue
+		}
+	}
+}
+
+// admit registers a new connection, enforcing MaxConns and drain state.
+func (s *Server) admit(nc net.Conn) bool {
+	s.mu.Lock()
+	if s.draining.Load() || len(s.conns) >= s.cfg.MaxConns {
+		s.mu.Unlock()
+		s.metrics.ConnsRejected.Add(1)
+		nc.Close()
+		return false
+	}
+	c := newConn(s, nc)
+	s.conns[c] = struct{}{}
+	s.connWG.Add(1)
+	s.mu.Unlock()
+	s.metrics.ConnsActive.Add(1)
+	go c.run()
+	return true
+}
+
+// removeConn unregisters a finished connection.
+func (s *Server) removeConn(c *conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+	s.metrics.ConnsActive.Add(-1)
+	s.connWG.Done()
+}
+
+// Shutdown drains the server: it stops accepting, wakes every reader so
+// no new requests are decoded, waits for all in-flight requests to be
+// answered and their responses written, then stops the commit loop and
+// flushes the engine. Acknowledged writes are never dropped. ctx bounds
+// the wait; on expiry remaining connections are severed and the error
+// reported.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if !s.draining.CompareAndSwap(false, true) {
+		return errors.New("server: already shut down")
+	}
+	s.mu.Lock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for c := range s.conns {
+		c.beginDrain()
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.connWG.Wait()
+		close(done)
+	}()
+	var drainErr error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		drainErr = ctx.Err()
+		s.mu.Lock()
+		for c := range s.conns {
+			c.nc.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+	if s.started.Load() {
+		s.committer.stop()
+	}
+	if err := s.cfg.DB.Flush(); err != nil && drainErr == nil {
+		drainErr = err
+	}
+	s.cfg.Logf("server: drained")
+	return drainErr
+}

@@ -1,0 +1,63 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// TokenBucket is the server's backpressure valve: each request withdraws
+// one token; tokens refill at a fixed rate up to a burst ceiling. When
+// the bucket runs dry the caller either waits (slowing the connection
+// that is overdriving the server) or — past a bounded backlog — sheds
+// the request with StatusThrottled.
+type TokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+// NewTokenBucket builds a bucket refilling at rate tokens/sec with the
+// given burst capacity (minimum 1). A nil *TokenBucket never throttles.
+func NewTokenBucket(rate float64, burst int) *TokenBucket {
+	if burst < 1 {
+		burst = 1
+	}
+	return &TokenBucket{
+		rate:   rate,
+		burst:  float64(burst),
+		tokens: float64(burst),
+		last:   time.Now(),
+	}
+}
+
+// Reserve withdraws one token and reports how long the caller must wait
+// before acting on it. When honoring the reservation would take longer
+// than maxWait the bucket is left untouched and ok is false: the caller
+// should shed the request instead of queueing unboundedly.
+func (b *TokenBucket) Reserve(maxWait time.Duration) (wait time.Duration, ok bool) {
+	if b == nil {
+		return 0, true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := time.Now()
+	b.tokens += now.Sub(b.last).Seconds() * b.rate
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return 0, true
+	}
+	wait = time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+	if wait > maxWait {
+		return wait, false
+	}
+	// Going negative records the debt; the caller sleeps it off, which is
+	// exactly the backpressure we want on the overdriving connection.
+	b.tokens--
+	return wait, true
+}

@@ -374,6 +374,24 @@ func (db *DB) Get(key []byte) ([]byte, error) { return db.inner.Get(key) }
 // Delete removes key.
 func (db *DB) Delete(key []byte) error { return db.inner.Delete(key) }
 
+// BatchOp is one operation in an atomically committed write batch; build
+// with PutOp / DeleteOp.
+type BatchOp = core.BatchOp
+
+// PutOp builds a set operation for ApplyBatch.
+func PutOp(key, value []byte) BatchOp { return core.PutOp(key, value) }
+
+// DeleteOp builds a tombstone operation for ApplyBatch.
+func DeleteOp(key []byte) BatchOp { return core.DeleteOp(key) }
+
+// ApplyBatch applies ops atomically under one WAL record; when sync is
+// true a single fsync makes the whole batch durable before returning.
+// This is the group-commit primitive the network server coalesces
+// concurrent writers onto.
+func (db *DB) ApplyBatch(ops []BatchOp, sync bool) error {
+	return db.inner.ApplyBatch(ops, sync)
+}
+
 // Scan calls fn for every key in [lo, hi] (inclusive), ascending, until
 // fn returns false.
 func (db *DB) Scan(lo, hi []byte, fn func(key, value []byte) bool) error {
