@@ -39,6 +39,15 @@ var (
 	ErrTimeout = errors.New("client: request timed out")
 )
 
+// ServerError is a request-level failure reported by the server in a
+// well-formed response (StatusError). The connection that carried it is
+// healthy.
+type ServerError struct {
+	Msg string
+}
+
+func (e *ServerError) Error() string { return "client: server error: " + e.Msg }
+
 // Op is one batch operation; build with PutOp / DeleteOp.
 type Op = core.BatchOp
 
@@ -212,8 +221,18 @@ func (c *Client) call(req *server.Request, scan bool) (server.Response, error) {
 			if err == nil {
 				return resp, nil
 			}
-			if !errors.Is(err, ErrThrottled) {
-				// The connection may be poisoned; retries redial.
+			if responseError(err) {
+				// A decoded response proves the connection is healthy:
+				// leave it — and every other call pipelined on it — alone.
+				// A draining server will close the wire itself, so detach
+				// it now so the retry redials instead of re-entering the
+				// drain.
+				if errors.Is(err, ErrShutdown) {
+					c.detachWire(w)
+				}
+			} else {
+				// Transport-level failure: the connection may be poisoned;
+				// retries redial.
 				c.dropWire(w, err)
 			}
 		}
@@ -249,12 +268,22 @@ func (c *Client) roundTrip(w *wire, req *server.Request, scan bool) (server.Resp
 		case server.StatusShutdown:
 			return resp, ErrShutdown
 		default:
-			return resp, fmt.Errorf("client: server error: %s", resp.Value)
+			return resp, &ServerError{Msg: string(resp.Value)}
 		}
 	case <-timer.C:
 		w.abandon(req.ID)
 		return server.Response{}, ErrTimeout
 	}
+}
+
+// responseError reports whether err was decoded from a successfully
+// received response frame. Such errors are definitive answers about one
+// request, carried by a healthy connection; tearing the wire down for
+// them would fail every other call pipelined on it.
+func responseError(err error) bool {
+	var se *ServerError
+	return errors.Is(err, ErrNotFound) || errors.Is(err, ErrThrottled) ||
+		errors.Is(err, ErrShutdown) || errors.As(err, &se)
 }
 
 // transient reports whether err is worth a redial-and-retry. ErrNotFound
@@ -297,13 +326,19 @@ func (c *Client) wire() (*wire, error) {
 	return w, nil
 }
 
-// dropWire discards w (if still current) after a failure.
-func (c *Client) dropWire(w *wire, err error) {
+// detachWire unlinks w so future calls dial afresh, while leaving its
+// read loop running to serve responses still in flight.
+func (c *Client) detachWire(w *wire) {
 	c.mu.Lock()
 	if c.w == w {
 		c.w = nil
 	}
 	c.mu.Unlock()
+}
+
+// dropWire discards w (if still current) after a transport failure.
+func (c *Client) dropWire(w *wire, err error) {
+	c.detachWire(w)
 	w.fail(err)
 }
 
@@ -351,6 +386,10 @@ func dialWire(addr string, opts Options) (*wire, error) {
 // send registers a pending call and writes the request frame.
 func (w *wire) send(req *server.Request, scan bool) (*pendingCall, error) {
 	req.ID = w.nextID.Add(1)
+	if req.ID == server.ConnErrID {
+		// Skip the reserved connection-level-error ID on wraparound.
+		req.ID = w.nextID.Add(1)
+	}
 	p := &pendingCall{ch: make(chan server.Response, 1), scan: scan}
 	w.pmu.Lock()
 	if w.err != nil {
@@ -416,6 +455,17 @@ func (w *wire) readLoop(maxFrame int) {
 			return
 		}
 		id := binary.LittleEndian.Uint32(payload)
+		if id == server.ConnErrID {
+			// Reserved ID: the server reports that framing was lost on
+			// this connection and is about to hang up. Surface its
+			// message rather than a bare EOF.
+			err := io.ErrUnexpectedEOF
+			if resp, derr := server.DecodeResponse(payload, false); derr == nil {
+				err = fmt.Errorf("client: connection error from server: %s", resp.Value)
+			}
+			w.fail(err)
+			return
+		}
 		w.pmu.Lock()
 		p := w.pending[id]
 		delete(w.pending, id)

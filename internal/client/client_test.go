@@ -2,6 +2,7 @@ package client_test
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -119,6 +120,97 @@ func TestNoRetryFailsFast(t *testing.T) {
 	defer cl.Close()
 	if err := cl.Put([]byte("k"), []byte("v")); err == nil {
 		t.Fatal("put over killed connection succeeded without retries")
+	}
+}
+
+// TestMissDoesNotPoisonPipeline: a Get miss is a request-level answer
+// carried by a healthy connection, not a connection failure. With
+// retries disabled, concurrent Puts pipelined on the same wire must all
+// succeed while other goroutines hammer absent keys — the regression was
+// a miss tearing down the shared wire and failing every in-flight call
+// with ErrNotFound.
+func TestMissDoesNotPoisonPipeline(t *testing.T) {
+	addr := startBackend(t)
+	cl, err := client.Dial(addr, nil) // MaxRetries=0: any poisoning is fatal
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	const workers, per = 8, 100
+	var wg sync.WaitGroup
+	errs := make(chan error, 2*workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(2)
+		go func(w int) { // writer
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				key := []byte(fmt.Sprintf("w%02d-%03d", w, i))
+				if err := cl.Put(key, []byte("v")); err != nil {
+					errs <- fmt.Errorf("put %s poisoned by concurrent miss: %w", key, err)
+					return
+				}
+			}
+		}(w)
+		go func(w int) { // misser
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				key := []byte(fmt.Sprintf("absent-%02d-%03d", w, i))
+				if _, err := cl.Get(key); !errors.Is(err, client.ErrNotFound) {
+					errs <- fmt.Errorf("get %s = %v, want ErrNotFound", key, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestRequestErrorKeepsConnection: request-level errors must not make
+// the client redial — the whole point of pipelining is one long-lived
+// connection.
+func TestRequestErrorKeepsConnection(t *testing.T) {
+	backend := startBackend(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	var accepted atomic.Int64
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			accepted.Add(1)
+			up, err := net.Dial("tcp", backend)
+			if err != nil {
+				c.Close()
+				continue
+			}
+			go func() { io.Copy(up, c); up.Close() }()
+			go func() { io.Copy(c, up); c.Close() }()
+		}
+	}()
+
+	cl, err := client.Dial(ln.Addr().String(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Get([]byte("missing")); !errors.Is(err, client.ErrNotFound) {
+		t.Fatalf("get absent key = %v, want ErrNotFound", err)
+	}
+	if err := cl.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatalf("put after miss: %v", err)
+	}
+	if got := accepted.Load(); got != 1 {
+		t.Fatalf("client used %d connections, want 1 (redialed after a request-level error)", got)
 	}
 }
 

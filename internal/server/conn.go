@@ -103,9 +103,10 @@ func (c *conn) readLoop() {
 		payload, err := ReadFrame(c.br, c.srv.cfg.MaxFrameBytes)
 		if err != nil {
 			if errors.Is(err, ErrFrameTooLarge) || errors.Is(err, ErrMalformed) {
-				// Framing is lost; tell the client why, then hang up.
+				// Framing is lost; tell the client why on the reserved
+				// connection-level ID, then hang up.
 				c.srv.metrics.DecodeErrors.Add(1)
-				c.send(AppendResponse(nil, &Response{Status: StatusError, Value: []byte(err.Error())}))
+				c.send(AppendResponse(nil, &Response{ID: ConnErrID, Status: StatusError, Value: []byte(err.Error())}))
 			}
 			return
 		}

@@ -14,8 +14,10 @@
 //
 // Because every response carries the request ID, a client may keep many
 // requests in flight on one connection (pipelining) and match responses
-// out of order. Request bodies use the engine's uvarint length-prefixed
-// byte strings:
+// out of order. Request ID 0 (ConnErrID) is reserved for connection-level
+// errors: the server uses it to report that framing was lost before
+// hanging up, so clients must never assign it to a request. Request
+// bodies use the engine's uvarint length-prefixed byte strings:
 //
 //	GET    key
 //	PUT    key value
@@ -96,6 +98,12 @@ const (
 
 // DefaultMaxFrameBytes bounds a single request or response frame.
 const DefaultMaxFrameBytes = 16 << 20
+
+// ConnErrID is the reserved request ID for connection-level error
+// responses (framing lost, connection about to close). No request may
+// carry it; clients treat a response bearing it as fatal to the
+// connection rather than matching it to a pending call.
+const ConnErrID uint32 = 0
 
 // frameHeaderLen is the length prefix preceding every frame.
 const frameHeaderLen = 4

@@ -166,14 +166,32 @@ func (s *Server) Serve(ln net.Listener) error {
 		s.committer.start()
 	}
 	s.cfg.Logf("server: listening on %s", ln.Addr())
+	var acceptDelay time.Duration // backoff for transient accept errors
 	for {
 		nc, err := ln.Accept()
 		if err != nil {
 			if s.draining.Load() {
 				return nil
 			}
+			// Transient failures (ECONNABORTED, EMFILE, ...) must not
+			// kill the accept loop while connections and the committer
+			// are live: back off and retry, as net/http does.
+			if ne, ok := err.(net.Error); ok && ne.Temporary() {
+				if acceptDelay == 0 {
+					acceptDelay = 5 * time.Millisecond
+				} else {
+					acceptDelay *= 2
+				}
+				if acceptDelay > time.Second {
+					acceptDelay = time.Second
+				}
+				s.cfg.Logf("server: accept error: %v; retrying in %v", err, acceptDelay)
+				time.Sleep(acceptDelay)
+				continue
+			}
 			return err
 		}
+		acceptDelay = 0
 		s.metrics.ConnsAccepted.Add(1)
 		if !s.admit(nc) {
 			continue

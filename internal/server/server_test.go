@@ -371,12 +371,16 @@ func TestBackpressureThrottles(t *testing.T) {
 		c.Burst = 10
 		c.MaxThrottleDelay = 5 * time.Millisecond
 	})
-	cl := dialTest(t, srv, nil)
 
+	// One connection per worker: the token-bucket sleep happens in each
+	// connection's read loop, so a single connection self-paces to the
+	// refill rate and is never shed. Shedding needs aggregate demand
+	// across connections to outrun the bucket.
 	var wg sync.WaitGroup
 	var throttled, okCount int64
 	var mu sync.Mutex
 	for w := 0; w < 8; w++ {
+		cl := dialTest(t, srv, nil)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
