@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race crash bench bench-server experiments examples fuzz serve clean
+.PHONY: all build test race crash bench bench-server experiments examples fuzz serve clean cover fmt-check doc-check
 
 all: build test
 
@@ -11,11 +11,40 @@ build:
 	$(GO) build ./...
 	$(GO) vet ./...
 
-test:
+test: fmt-check doc-check
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(GO) test -race ./internal/server/ ./internal/client/
 	$(MAKE) crash
+
+# gofmt is the only accepted formatting; -l lists offenders and the grep
+# turns any output into a failure.
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Every package must carry a package-level doc comment: at least one
+# non-test .go file per package whose first line is a comment (godoc
+# renders the comment block directly above the package clause).
+doc-check:
+	@fail=0; for d in $$($(GO) list -f '{{.Dir}}' ./...); do \
+		ok=0; for f in $$d/*.go; do \
+			case $$f in *_test.go) continue;; esac; \
+			head -1 $$f | grep -q '^//' && ok=1 && break; \
+		done; \
+		if [ $$ok -eq 0 ]; then echo "missing package doc comment: $$d"; fail=1; fi; \
+	done; exit $$fail
+
+# Per-package statement coverage, with a floor on the observability
+# package: the instruments everything else leans on must stay tested.
+IOSTAT_COVER_FLOOR = 90
+cover:
+	$(GO) test -cover ./...
+	@pct=$$($(GO) test -cover ./internal/iostat/ | \
+		sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
+	echo "internal/iostat coverage: $$pct% (floor $(IOSTAT_COVER_FLOOR)%)"; \
+	awk "BEGIN{exit !($$pct >= $(IOSTAT_COVER_FLOOR))}" || \
+		{ echo "internal/iostat coverage below floor"; exit 1; }
 
 race:
 	$(GO) test -race ./...

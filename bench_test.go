@@ -399,3 +399,30 @@ func BenchmarkE12SharedHashing(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkDBGet guards the observability fast path: with TrackLatency
+// off (the default) a point lookup must cost exactly one nil check over
+// the uninstrumented read path, so the off/on sub-benchmarks should be
+// within noise of each other (the histogram update is ~two atomic adds).
+func BenchmarkDBGet(b *testing.B) {
+	for _, mode := range []struct {
+		name  string
+		track bool
+	}{
+		{"observability-off", false},
+		{"observability-on", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			opts := Default()
+			opts.TrackLatency = mode.track
+			db := benchDB(b, opts)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := workload.ScrambleKey(int64(i)%benchKeys, benchKeys)
+				if _, err := db.Get(workload.Key(k)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

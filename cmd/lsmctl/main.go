@@ -8,7 +8,9 @@
 //	lsmctl -db /path get <key>
 //	lsmctl -db /path delete <key>
 //	lsmctl -db /path scan <lo> <hi>
+//	lsmctl -db /path trace <key>      # read-path trace: runs, filters, fences
 //	lsmctl -db /path stats
+//	lsmctl -db /path stats -events    # append the engine's event log
 //	lsmctl -db /path compact
 //	lsmctl -db /path fill <n>         # load n synthetic entries
 //
@@ -18,7 +20,9 @@
 //	lsmctl -addr host:4440 get <key>
 //	lsmctl -addr host:4440 delete <key>
 //	lsmctl -addr host:4440 scan <lo> <hi>
+//	lsmctl -addr host:4440 trace <key>
 //	lsmctl -addr host:4440 stats
+//	lsmctl -addr host:4440 stats -events
 //	lsmctl -addr host:4440 ping
 //	lsmctl -addr host:4440 fill <n>   # load n entries via BATCH frames
 //
@@ -28,6 +32,7 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -144,7 +149,31 @@ func run(db *lsmkv.DB, args []string) error {
 		}
 		fmt.Printf("(%d entries)\n", count)
 		return nil
+	case "trace":
+		if err := need(1); err != nil {
+			return err
+		}
+		_, tr, err := db.GetTraced([]byte(rest[0]))
+		if err != nil && !errors.Is(err, lsmkv.ErrNotFound) {
+			return err
+		}
+		fmt.Print(tr.String())
+		return nil
 	case "stats":
+		if len(rest) == 1 && rest[0] == "-events" {
+			events := db.Events()
+			if len(events) == 0 {
+				fmt.Println("(no events)")
+				return nil
+			}
+			for _, e := range events {
+				fmt.Println(e.String())
+			}
+			return nil
+		}
+		if err := need(0); err != nil {
+			return err
+		}
 		s := db.Stats()
 		fmt.Printf("tree:\n%s", db.DebugString())
 		fmt.Printf("runs: %d   index memory: %d KiB\n", db.TotalRuns(), db.IndexMemory()>>10)
@@ -180,7 +209,7 @@ func run(db *lsmkv.DB, args []string) error {
 		fmt.Printf("collected=%v\n", collected)
 		return nil
 	default:
-		return fmt.Errorf("unknown command %q (put|get|delete|scan|stats|compact|fill|gc)", cmd)
+		return fmt.Errorf("unknown command %q (put|get|delete|scan|trace|stats|compact|fill|gc)", cmd)
 	}
 }
 
@@ -233,10 +262,44 @@ func runRemote(cl *client.Client, args []string) error {
 		}
 		fmt.Printf("(%d entries)\n", count)
 		return nil
+	case "trace":
+		if err := need(1); err != nil {
+			return err
+		}
+		tr, err := cl.Trace([]byte(rest[0]))
+		if err != nil {
+			return err
+		}
+		fmt.Print(tr.String())
+		return nil
 	case "stats":
 		body, err := cl.Stats()
 		if err != nil {
 			return err
+		}
+		if len(rest) == 1 && rest[0] == "-events" {
+			// The STATS payload already carries both event rings; render
+			// them instead of echoing the whole JSON document.
+			var payload struct {
+				Events struct {
+					Server []lsmkv.Event `json:"server"`
+					Engine []lsmkv.Event `json:"engine"`
+				} `json:"events"`
+			}
+			if err := json.Unmarshal(body, &payload); err != nil {
+				return fmt.Errorf("decode stats: %w", err)
+			}
+			if len(payload.Events.Server) == 0 && len(payload.Events.Engine) == 0 {
+				fmt.Println("(no events)")
+				return nil
+			}
+			for _, e := range payload.Events.Server {
+				fmt.Printf("server  %s\n", e.String())
+			}
+			for _, e := range payload.Events.Engine {
+				fmt.Printf("engine  %s\n", e.String())
+			}
+			return nil
 		}
 		os.Stdout.Write(body)
 		fmt.Println()
@@ -268,6 +331,6 @@ func runRemote(cl *client.Client, args []string) error {
 		fmt.Printf("loaded %d entries\n", n)
 		return nil
 	default:
-		return fmt.Errorf("unknown remote command %q (put|get|delete|scan|stats|ping|fill)", cmd)
+		return fmt.Errorf("unknown remote command %q (put|get|delete|scan|trace|stats|ping|fill)", cmd)
 	}
 }

@@ -1,22 +1,31 @@
 // Command lsmserver serves an lsmkv database over the network: the
 // length-prefixed binary KV protocol on -addr (pipelined connections,
 // group-committed writes, token-bucket backpressure) and live metrics on
-// -metrics (/metrics JSON, /healthz). SIGTERM or SIGINT triggers a
-// graceful drain: accepting stops, every in-flight request is answered,
-// queued commits reach the log, and the engine flushes before exit.
+// -metrics (/metrics and /events JSON, /healthz). SIGTERM or SIGINT
+// triggers a graceful drain: accepting stops, every in-flight request is
+// answered, queued commits reach the log, and the engine flushes before
+// exit.
+//
+// -debug-addr starts a second, private HTTP listener with the Go runtime
+// diagnostics: /debug/pprof/ (CPU, heap, goroutine, block profiles) and
+// /debug/vars (expvar). Keep it bound to localhost — profiles expose
+// internals that the public metrics endpoint deliberately does not.
 //
 // Usage:
 //
 //	lsmserver -db /path [-addr :4440] [-metrics :4441] [-preset default]
 //	          [-sync] [-rate 0] [-max-conns 1024]
+//	          [-debug-addr 127.0.0.1:4442] [-track-latency=true]
 package main
 
 import (
 	"context"
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -25,6 +34,20 @@ import (
 	"lsmkv"
 	"lsmkv/internal/server"
 )
+
+// debugMux builds the private diagnostics mux: pprof and expvar, wired
+// by hand so nothing leaks onto http.DefaultServeMux (the blank-import
+// side effect of net/http/pprof would put profiles on every mux).
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}
 
 func main() {
 	var (
@@ -37,6 +60,8 @@ func main() {
 		rate         = flag.Float64("rate", 0, "request rate limit per second (0 = unlimited)")
 		burst        = flag.Int("burst", 0, "token bucket burst (default derived from -rate)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long graceful shutdown may take")
+		debugAddr    = flag.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this private HTTP address (empty disables)")
+		trackLatency = flag.Bool("track-latency", true, "record engine-level latency histograms (one nil check per op when off)")
 		verbose      = flag.Bool("v", false, "log engine and server events")
 	)
 	flag.Parse()
@@ -67,6 +92,7 @@ func main() {
 		os.Exit(2)
 	}
 	opts.Logf = logf
+	opts.TrackLatency = *trackLatency
 
 	db, err := lsmkv.Open(*dir, opts)
 	if err != nil {
@@ -83,6 +109,17 @@ func main() {
 	})
 	if err != nil {
 		log.Fatalf("lsmserver: %v", err)
+	}
+
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		debugSrv = &http.Server{Addr: *debugAddr, Handler: debugMux()}
+		go func() {
+			log.Printf("lsmserver: debug on http://%s/debug/pprof/", *debugAddr)
+			if err := debugSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("lsmserver: debug server: %v", err)
+			}
+		}()
 	}
 
 	var metricsSrv *http.Server
@@ -123,6 +160,9 @@ func main() {
 	}
 	if metricsSrv != nil {
 		metricsSrv.Close()
+	}
+	if debugSrv != nil {
+		debugSrv.Close()
 	}
 	if err := db.Close(); err != nil {
 		log.Fatalf("lsmserver: close: %v", err)

@@ -12,6 +12,7 @@ package client
 import (
 	"bufio"
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -21,6 +22,7 @@ import (
 	"time"
 
 	"lsmkv/internal/core"
+	"lsmkv/internal/iostat"
 	"lsmkv/internal/server"
 )
 
@@ -193,14 +195,30 @@ func (c *Client) ScanAll(lo, hi []byte, fn func(key, value []byte) bool) error {
 	}
 }
 
-// Stats returns the server's /metrics JSON (server counters + engine
-// iostat snapshot).
+// Stats returns the server's /metrics JSON (server counters with
+// per-opcode latency quantiles, engine iostat snapshot, and both event
+// rings).
 func (c *Client) Stats() ([]byte, error) {
 	resp, err := c.call(&server.Request{Op: server.OpStats}, false)
 	if err != nil {
 		return nil, err
 	}
 	return resp.Value, nil
+}
+
+// Trace runs a traced point lookup of key on the server and returns the
+// read-path trace. The key being absent is not an error: the trace
+// reports the outcome (that miss path is what TRACE exists to explain).
+func (c *Client) Trace(key []byte) (*iostat.Trace, error) {
+	resp, err := c.call(&server.Request{Op: server.OpTrace, Key: key}, false)
+	if err != nil {
+		return nil, err
+	}
+	var tr iostat.Trace
+	if err := json.Unmarshal(resp.Value, &tr); err != nil {
+		return nil, fmt.Errorf("client: decode trace: %w", err)
+	}
+	return &tr, nil
 }
 
 // Ping round-trips an empty request.

@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/binary"
 	"errors"
+	"time"
 
 	"lsmkv/internal/kv"
 )
@@ -52,6 +53,10 @@ func DeleteOp(key []byte) BatchOp {
 func (db *DB) ApplyBatch(ops []BatchOp, sync bool) error {
 	if len(ops) == 0 {
 		return nil
+	}
+	if db.lat != nil {
+		start := time.Now()
+		defer func() { db.lat.Batch.Observe(time.Since(start)) }()
 	}
 	entries := make([]batchEntry, len(ops))
 	for i, op := range ops {

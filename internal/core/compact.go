@@ -7,6 +7,7 @@ import (
 
 	"lsmkv/internal/compaction"
 	"lsmkv/internal/filter"
+	"lsmkv/internal/iostat"
 	"lsmkv/internal/kv"
 	"lsmkv/internal/manifest"
 	"lsmkv/internal/sstable"
@@ -159,6 +160,7 @@ func (db *DB) flushBufferToL0(buf buffer) error {
 	if !it.First() {
 		return nil
 	}
+	start := time.Now()
 	meta, _, err := db.buildTable(it, db.writerOptionsForLevel(0, buf.Len(), nil), 0, nil)
 	if err != nil {
 		return err
@@ -167,6 +169,11 @@ func (db *DB) flushBufferToL0(buf buffer) error {
 		return nil
 	}
 	db.opts.Stats.BytesFlushed.Add(int64(meta.Size))
+	db.events.Add(iostat.Event{
+		Type: iostat.EventFlush, FromLevel: -1, ToLevel: 0,
+		OutputFiles: 1, OutputBytes: meta.Size,
+		DurMs: float64(time.Since(start).Microseconds()) / 1e3,
+	})
 	return db.installVersionEdit(func(s *manifest.State) {
 		for len(s.Levels) < 1 {
 			s.Levels = append(s.Levels, manifest.Level{})
@@ -235,6 +242,16 @@ func (db *DB) runCompaction(task *compaction.Task) error {
 		}
 		db.opts.Stats.Compactions.Add(1)
 		db.opts.Stats.TrivialMoves.Add(1)
+		var movedBytes uint64
+		for _, m := range metas {
+			movedBytes += m.Size
+		}
+		db.events.Add(iostat.Event{
+			Type: iostat.EventTrivialMove, FromLevel: task.FromLevel, ToLevel: task.TargetLevel,
+			InputFiles: len(metas), OutputFiles: len(metas),
+			InputBytes: movedBytes, OutputBytes: movedBytes,
+			Detail: task.Reason,
+		})
 		db.opts.Logf("trivial move %s: %d files L%d -> L%d",
 			task.Reason, len(metas), task.FromLevel, task.TargetLevel)
 		return nil
@@ -382,6 +399,13 @@ func (db *DB) runCompaction(task *compaction.Task) error {
 	if err != nil {
 		return err
 	}
+	db.events.Add(iostat.Event{
+		Type: iostat.EventCompaction, FromLevel: task.FromLevel, ToLevel: task.TargetLevel,
+		InputFiles: len(inputs) + len(targets), OutputFiles: len(outputs),
+		InputBytes: inputBytes, OutputBytes: outputBytes,
+		DurMs:  float64(time.Since(start).Microseconds()) / 1e3,
+		Detail: task.Reason,
+	})
 	db.opts.Logf("compaction %s: %d -> %d files, %.1f MiB",
 		task.Reason, len(inputs)+len(targets), len(outputs), float64(outputBytes)/(1<<20))
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"lsmkv/internal/cache"
 	"lsmkv/internal/compaction"
@@ -68,6 +69,12 @@ type DB struct {
 	cache    *cache.Cache
 	vlog     *vlog.Log
 
+	// lat holds per-operation latency histograms; nil unless
+	// Options.TrackLatency, so the disabled path costs one nil check.
+	lat *iostat.OpLatencies
+	// events is the bounded lifecycle event ring; nil when disabled.
+	events *iostat.EventLog
+
 	bgWake chan struct{}
 	bgDone chan struct{}
 }
@@ -94,6 +101,12 @@ func Open(opts Options) (*DB, error) {
 		bgDone:    make(chan struct{}),
 	}
 	db.cond = sync.NewCond(&db.mu)
+	if o.TrackLatency {
+		db.lat = &iostat.OpLatencies{}
+	}
+	if o.EventLogSize >= 0 {
+		db.events = iostat.NewEventLog(o.EventLogSize)
+	}
 	if o.CacheBytes > 0 {
 		db.cache = cache.New(o.CacheBytes, o.CachePolicy)
 	}
@@ -191,6 +204,10 @@ func (db *DB) replayWALs() error {
 	}
 	if recovered > 0 {
 		db.opts.Logf("recovered %d entries from %d WAL files", recovered, len(nums))
+		db.events.Add(iostat.Event{
+			Type: iostat.EventWALRecovery, FromLevel: -1, ToLevel: -1,
+			Detail: fmt.Sprintf("%d entries from %d logs", recovered, len(nums)),
+		})
 		if err := db.flushBufferToL0(db.mem); err != nil {
 			return err
 		}
@@ -213,17 +230,33 @@ func (db *DB) rotateWALLocked() error {
 	}
 	db.wal = w
 	db.walNum = num
+	db.events.Add(iostat.Event{
+		Type: iostat.EventWALRotate, FromLevel: -1, ToLevel: -1,
+		Detail: fmt.Sprintf("wal %06d", num),
+	})
 	return nil
 }
 
 // Put stores key -> value.
 func (db *DB) Put(key, value []byte) error {
-	return db.write(kv.KindSet, key, value)
+	if db.lat == nil {
+		return db.write(kv.KindSet, key, value)
+	}
+	start := time.Now()
+	err := db.write(kv.KindSet, key, value)
+	db.lat.Put.Observe(time.Since(start))
+	return err
 }
 
 // Delete removes key (writes a tombstone).
 func (db *DB) Delete(key []byte) error {
-	return db.write(kv.KindDelete, key, nil)
+	if db.lat == nil {
+		return db.write(kv.KindDelete, key, nil)
+	}
+	start := time.Now()
+	err := db.write(kv.KindDelete, key, nil)
+	db.lat.Delete.Observe(time.Since(start))
+	return err
 }
 
 func (db *DB) write(kind kv.Kind, key, value []byte) error {
@@ -328,16 +361,42 @@ func (db *DB) wake() {
 
 // Get returns the newest visible value of key.
 func (db *DB) Get(key []byte) ([]byte, error) {
-	return db.get(key, kv.MaxSeqNum)
+	if db.lat == nil {
+		return db.get(key, kv.MaxSeqNum, nil)
+	}
+	start := time.Now()
+	value, err := db.get(key, kv.MaxSeqNum, nil)
+	db.lat.Get.Observe(time.Since(start))
+	return value, err
 }
 
-func (db *DB) get(key []byte, snap kv.SeqNum) ([]byte, error) {
+// GetTraced is Get with a full read-path trace: which buffers and sorted
+// runs were consulted, how each run screened the probe (fences, sequence
+// bounds, filters), and the block-level work the survivors cost. The trace
+// is returned even when the key is absent (err == ErrNotFound) — that is
+// the interesting case for diagnosing read amplification.
+func (db *DB) GetTraced(key []byte) ([]byte, *iostat.Trace, error) {
+	tr := iostat.NewTrace(key)
+	start := time.Now()
+	value, err := db.get(key, kv.MaxSeqNum, tr)
+	elapsed := time.Since(start)
+	tr.ElapsedUs = float64(elapsed.Nanoseconds()) / 1e3
+	if db.lat != nil {
+		db.lat.Get.Observe(elapsed)
+	}
+	return value, tr, err
+}
+
+func (db *DB) get(key []byte, snap kv.SeqNum, tr *iostat.Trace) ([]byte, error) {
 	db.opts.Stats.PointLookups.Add(1)
-	value, kind, found, err := db.getInternal(key, snap)
+	value, kind, found, err := db.getInternal(key, snap, tr)
 	if err != nil {
 		return nil, err
 	}
 	if !found || kind == kv.KindDelete {
+		if tr != nil && found && kind == kv.KindDelete {
+			tr.Tombstone = true
+		}
 		return nil, ErrNotFound
 	}
 	if kind == kv.KindValuePointer {
@@ -346,14 +405,28 @@ func (db *DB) get(key []byte, snap kv.SeqNum) ([]byte, error) {
 			return nil, err
 		}
 		db.opts.Stats.VlogReads.Add(1)
-		return db.vlog.Get(ptr)
+		v, err := db.vlog.Get(ptr)
+		if err != nil {
+			return nil, err
+		}
+		if tr != nil {
+			tr.VlogRead = true
+			tr.Found = true
+			tr.SetValue(v)
+		}
+		return v, nil
+	}
+	if tr != nil {
+		tr.Found = true
+		tr.SetValue(value)
 	}
 	return value, nil
 }
 
 // getInternal walks buffer -> immutables -> tree, newest first, returning
-// the first (newest visible) version of key.
-func (db *DB) getInternal(key []byte, snap kv.SeqNum) (value []byte, kind kv.Kind, found bool, err error) {
+// the first (newest visible) version of key. tr, when non-nil, records
+// every screening decision along the way.
+func (db *DB) getInternal(key []byte, snap kv.SeqNum, tr *iostat.Trace) (value []byte, kind kv.Kind, found bool, err error) {
 	db.mu.Lock()
 	if db.closed {
 		db.mu.Unlock()
@@ -370,10 +443,20 @@ func (db *DB) getInternal(key []byte, snap kv.SeqNum) (value []byte, kind kv.Kin
 	defer v.unref()
 
 	if value, kind, found = mem.Get(key, snap); found {
+		if tr != nil {
+			tr.MemtableHit = true
+			tr.Source = "memtable"
+		}
 		return value, kind, true, nil
 	}
 	for i := len(imms) - 1; i >= 0; i-- { // newest immutable first
+		if tr != nil {
+			tr.ImmutablesChecked++
+		}
 		if value, kind, found = imms[i].Get(key, snap); found {
+			if tr != nil {
+				tr.Source = fmt.Sprintf("immutable-%d", len(imms)-1-i)
+			}
 			return value, kind, true, nil
 		}
 	}
@@ -382,28 +465,47 @@ func (db *DB) getInternal(key []byte, snap kv.SeqNum) (value []byte, kind kv.Kin
 	for li, level := range v.levels {
 		for ri := len(level) - 1; ri >= 0; ri-- { // newest run first
 			r := level[ri]
+			rt := tr.AddRun(li, len(level)-1-ri)
 			th := r.find(key)
 			if th == nil {
+				if rt != nil {
+					rt.Decision = iostat.DecisionFenceSkip
+				}
 				continue
+			}
+			if rt != nil {
+				rt.File = th.meta.Num
 			}
 			// Skip runs whose newest data is beyond the snapshot? Seq
 			// bounds prune only when the whole file is too new.
 			if kv.SeqNum(th.meta.SmallestSeq) > snap {
+				if rt != nil {
+					rt.Decision = iostat.DecisionSeqSkip
+				}
 				continue
 			}
-			if !th.reader.MayContain(kh) {
+			if !th.reader.MayContainTraced(kh, rt) {
+				if rt != nil {
+					rt.Decision = iostat.DecisionFilterNegative
+				}
 				continue
 			}
 			db.opts.Stats.RunsProbed.Add(1)
-			value, kind, found, err = th.reader.Get(key, kh, snap)
+			if rt != nil {
+				rt.Decision = iostat.DecisionProbed
+			}
+			value, kind, found, err = th.reader.GetTraced(key, kh, snap, rt)
 			if err != nil {
 				return nil, 0, false, err
 			}
 			if found {
+				if rt != nil {
+					rt.Found = true
+					tr.Source = fmt.Sprintf("L%d/run%d/file%d", li, len(level)-1-ri, th.meta.Num)
+				}
 				return value, kind, true, nil
 			}
 		}
-		_ = li
 	}
 	return nil, 0, false, nil
 }
@@ -548,6 +650,20 @@ func (db *DB) Stats() iostat.Snapshot { return db.opts.Stats.Snapshot() }
 // StatsHandle exposes the live counters (for harnesses that diff
 // snapshots around phases).
 func (db *DB) StatsHandle() *iostat.Stats { return db.opts.Stats }
+
+// Latencies returns per-operation latency summaries keyed "get", "put",
+// "delete", "scan". Nil unless Options.TrackLatency is set; operations
+// with no observations are omitted.
+func (db *DB) Latencies() map[string]iostat.LatencySummary { return db.lat.Summaries() }
+
+// Events returns the retained engine lifecycle events, oldest first
+// (flushes, compactions, WAL rotations and recoveries, value-log GC).
+// Nil when Options.EventLogSize is negative.
+func (db *DB) Events() []iostat.Event { return db.events.Events() }
+
+// EventLog exposes the engine's event ring (nil when disabled), so the
+// serving layer can interleave its own events with the engine's.
+func (db *DB) EventLog() *iostat.EventLog { return db.events }
 
 // cacheIface adapts the possibly-nil cache to the sstable hook.
 func (db *DB) cacheIface() sstable.BlockCache {

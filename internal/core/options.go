@@ -120,6 +120,15 @@ type Options struct {
 
 	// Stats receives I/O accounting. Nil allocates a private instance.
 	Stats *iostat.Stats
+	// TrackLatency enables per-operation latency histograms for Get, Put,
+	// Delete, and Scan (read via DB.Latencies). Off by default; the
+	// disabled hot path pays exactly one nil check per operation.
+	TrackLatency bool
+	// EventLogSize bounds the in-memory ring of engine lifecycle events
+	// (flushes, compactions, WAL rotations and recoveries, value-log GC),
+	// read via DB.Events. 0 selects iostat.DefaultEventLogSize; negative
+	// disables event recording.
+	EventLogSize int
 	// Logf, when set, receives engine event logs.
 	Logf func(format string, args ...any)
 }

@@ -4,7 +4,9 @@ import (
 	"bytes"
 	"fmt"
 	"strings"
+	"time"
 
+	"lsmkv/internal/iostat"
 	"lsmkv/internal/kv"
 	"lsmkv/internal/vlog"
 )
@@ -50,7 +52,7 @@ func (s *Snapshot) Get(key []byte) ([]byte, error) {
 	if s.released {
 		return nil, fmt.Errorf("lsmkv: snapshot already released")
 	}
-	return s.db.get(key, s.seq)
+	return s.db.get(key, s.seq, nil)
 }
 
 // Scan iterates the snapshot over [lo, hi]; see DB.Scan.
@@ -66,7 +68,13 @@ func (s *Snapshot) Scan(lo, hi []byte, fn func(key, value []byte) bool) error {
 // the range is exhausted. Range filters screen runs that provably hold no
 // key in the range before any storage access.
 func (db *DB) Scan(lo, hi []byte, fn func(key, value []byte) bool) error {
-	return db.scan(lo, hi, kv.MaxSeqNum, fn)
+	if db.lat == nil {
+		return db.scan(lo, hi, kv.MaxSeqNum, fn)
+	}
+	start := time.Now()
+	err := db.scan(lo, hi, kv.MaxSeqNum, fn)
+	db.lat.Scan.Observe(time.Since(start))
+	return err
 }
 
 func (db *DB) scan(lo, hi []byte, snap kv.SeqNum, fn func(key, value []byte) bool) error {
@@ -166,9 +174,10 @@ func (db *DB) RunValueLogGC() (bool, error) {
 	if db.vlog == nil {
 		return false, nil
 	}
-	return db.vlog.GC(
+	start := time.Now()
+	collected, err := db.vlog.GC(
 		func(key []byte, p vlog.Pointer) bool {
-			value, kind, found, err := db.getInternal(key, kv.MaxSeqNum)
+			value, kind, found, err := db.getInternal(key, kv.MaxSeqNum, nil)
 			if err != nil || !found || kind != kv.KindValuePointer {
 				return false
 			}
@@ -179,6 +188,13 @@ func (db *DB) RunValueLogGC() (bool, error) {
 			return db.Put(key, value)
 		},
 	)
+	if collected {
+		db.events.Add(iostat.Event{
+			Type: iostat.EventVlogGC, FromLevel: -1, ToLevel: -1,
+			DurMs: float64(time.Since(start).Microseconds()) / 1e3,
+		})
+	}
+	return collected, err
 }
 
 // LevelInfo summarizes one level for metrics and tooling.

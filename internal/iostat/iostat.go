@@ -1,8 +1,23 @@
-// Package iostat provides the engine-wide I/O and read-path instrument.
+// Package iostat provides the engine-wide I/O and read-path instruments.
 // The tutorial expresses every read-optimization claim in expected storage
 // accesses per operation; these counters expose exactly those quantities
 // (block reads, cache hits, filter probes and their outcomes) so the
 // benchmark harness can report the same units the literature uses.
+//
+// Beyond the monotonic counters (Stats), the package carries the three
+// observability primitives the rest of the engine threads through its
+// hot paths, each inert at the cost of one nil check when disabled:
+//
+//   - Histogram / OpLatencies: lock-free log-bucketed latency histograms
+//     with p50/p90/p99/p999 quantiles (Section 2's point-lookup cost is a
+//     distribution, not a mean — tail quantiles are where a mis-tuned
+//     filter or a deep L0 shows first).
+//   - Trace / RunTrace: a per-lookup record of every sorted run
+//     considered and why it was skipped or probed — the per-run
+//     fence/filter/cache decisions of the paper's read path, Section 4.
+//   - Event / EventLog: a bounded ring of engine lifecycle events
+//     (flushes, compactions, WAL rotations, value-log GC) — the
+//     background work that explains foreground latency shifts.
 package iostat
 
 import "sync/atomic"

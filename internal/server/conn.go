@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"lsmkv/internal/core"
+	"lsmkv/internal/iostat"
 )
 
 // conn is one client connection. Three goroutines cooperate to give
@@ -131,6 +132,10 @@ func (c *conn) dispatch(req *Request) {
 		wait, ok := c.srv.bucket.Reserve(c.srv.cfg.MaxThrottleDelay)
 		if !ok {
 			m.Throttled.Add(1)
+			c.srv.events.Add(iostat.Event{
+				Type: iostat.EventThrottle, FromLevel: -1, ToLevel: -1,
+				Detail: req.Op.String(),
+			})
 			m.observeOp(req.Op, time.Since(start))
 			c.send(AppendResponse(nil, &Response{ID: req.ID, Status: StatusThrottled, Value: []byte("rate limit exceeded")}))
 			return
@@ -152,6 +157,8 @@ func (c *conn) dispatch(req *Request) {
 		c.handleScan(req, start)
 	case OpStats:
 		c.handleStats(req, start)
+	case OpTrace:
+		c.handleTrace(req, start)
 	case OpPut:
 		c.submitWrite(req, start, []core.BatchOp{core.PutOp(req.Key, req.Value)})
 	case OpDelete:
@@ -207,13 +214,28 @@ func (c *conn) handleScan(req *Request, start time.Time) {
 }
 
 func (c *conn) handleStats(req *Request, start time.Time) {
-	body, err := json.Marshal(metricsPayload{
-		Server: c.srv.metrics.Snapshot(),
-		Engine: c.srv.cfg.DB.Stats(),
-	})
+	body, err := json.Marshal(c.srv.payload())
 	resp := Response{ID: req.ID, Status: StatusOK, Value: body}
 	if err != nil {
 		resp = errResponse(req.ID, err)
+	}
+	c.finishRead(req, start, &resp)
+}
+
+// handleTrace serves the TRACE opcode: a traced point lookup whose JSON
+// trace is the response body. Not-found is still StatusOK — the trace
+// reports the outcome, and the miss path is the diagnostic payoff.
+func (c *conn) handleTrace(req *Request, start time.Time) {
+	_, tr, err := c.srv.cfg.DB.GetTraced(req.Key)
+	if err != nil && !errors.Is(err, core.ErrNotFound) {
+		resp := errResponse(req.ID, err)
+		c.finishRead(req, start, &resp)
+		return
+	}
+	body, jerr := json.Marshal(tr)
+	resp := Response{ID: req.ID, Status: StatusOK, Value: body}
+	if jerr != nil {
+		resp = errResponse(req.ID, jerr)
 	}
 	c.finishRead(req, start, &resp)
 }

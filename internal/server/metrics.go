@@ -36,9 +36,10 @@ type Metrics struct {
 	BytesIn  atomic.Int64
 	BytesOut atomic.Int64
 
-	// Per-opcode request counts and total service latency.
-	Requests  [opMax]atomic.Int64
-	LatencyNs [opMax]atomic.Int64
+	// Per-opcode request counts and service-latency histograms. The
+	// histograms are lock-free; quantiles come out via Snapshot.
+	Requests [opMax]atomic.Int64
+	Latency  [opMax]iostat.Histogram
 
 	// CommitQueue is the number of write requests waiting for the
 	// group-commit loop (gauge).
@@ -57,7 +58,7 @@ func newMetrics() *Metrics { return &Metrics{start: time.Now()} }
 func (m *Metrics) observeOp(op Opcode, dur time.Duration) {
 	if op < opMax {
 		m.Requests[op].Add(1)
-		m.LatencyNs[op].Add(int64(dur))
+		m.Latency[op].Observe(dur)
 	}
 	m.Inflight.Add(-1)
 }
@@ -73,11 +74,11 @@ func (m *Metrics) observeCommit(n int) {
 	m.BatchSizeHist[b].Add(1)
 }
 
-// OpSnapshot is one opcode's served-request summary.
-type OpSnapshot struct {
-	Count     int64   `json:"count"`
-	MeanLatUs float64 `json:"mean_latency_us"`
-}
+// OpSnapshot is one opcode's served-request summary: the count plus the
+// latency distribution (mean and p50/p90/p99/p999/max, microseconds).
+// The latency is service latency as the server sees it — decode to
+// response-queued — so it includes commit-group and throttle queueing.
+type OpSnapshot = iostat.LatencySummary
 
 // Snapshot is a point-in-time copy of the server metrics, shaped for
 // JSON rendering on /metrics.
@@ -123,14 +124,10 @@ func (m *Metrics) Snapshot() Snapshot {
 		s.MeanBatchSize = float64(s.CommitOps) / float64(s.CommitBatches)
 	}
 	for op := Opcode(1); op < opMax; op++ {
-		n := m.Requests[op].Load()
-		if n == 0 {
+		if m.Requests[op].Load() == 0 {
 			continue
 		}
-		s.Ops[op.String()] = OpSnapshot{
-			Count:     n,
-			MeanLatUs: float64(m.LatencyNs[op].Load()) / float64(n) / 1e3,
-		}
+		s.Ops[op.String()] = m.Latency[op].Snapshot().Summary()
 	}
 	lo := 1
 	for i := 0; i < commitHistBuckets; i++ {
@@ -166,22 +163,54 @@ func itoa(n int) string {
 	return string(buf[i:])
 }
 
-// metricsPayload is the /metrics response body.
+// eventsPayload groups the two event rings on the wire: the serving
+// layer's incidents and the engine's lifecycle events.
+type eventsPayload struct {
+	Server []iostat.Event `json:"server"`
+	Engine []iostat.Event `json:"engine"`
+}
+
+// metricsPayload is the /metrics response body (also the STATS opcode's).
 type metricsPayload struct {
 	Server Snapshot        `json:"server"`
 	Engine iostat.Snapshot `json:"engine"`
+	// EngineLatencies carries the engine's own per-operation histograms
+	// (present only when the engine tracks latency). Unlike Server.Ops,
+	// these exclude network, queueing, and commit-group wait.
+	EngineLatencies map[string]iostat.LatencySummary `json:"engine_latencies,omitempty"`
+	// Events holds both bounded event rings, oldest first.
+	Events eventsPayload `json:"events"`
+}
+
+func (s *Server) payload() metricsPayload {
+	return metricsPayload{
+		Server:          s.metrics.Snapshot(),
+		Engine:          s.cfg.DB.Stats(),
+		EngineLatencies: s.cfg.DB.Latencies(),
+		Events: eventsPayload{
+			Server: s.Events(),
+			Engine: s.cfg.DB.Events(),
+		},
+	}
 }
 
 // MetricsHandler returns an HTTP handler exposing /metrics (JSON of
-// server counters plus the engine's iostat snapshot) and /healthz (200
-// while serving, 503 while draining).
+// server counters, per-opcode latency quantiles, the engine's iostat
+// snapshot, and both event rings), /events (the event rings alone), and
+// /healthz (200 while serving, 503 while draining).
 func (s *Server) MetricsHandler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+	writeJSON := func(w http.ResponseWriter, v any) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		enc.Encode(metricsPayload{Server: s.metrics.Snapshot(), Engine: s.cfg.DB.Stats()})
+		enc.Encode(v)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.payload())
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, eventsPayload{Server: s.Events(), Engine: s.cfg.DB.Events()})
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		if s.draining.Load() {

@@ -26,10 +26,13 @@
 //	BATCH  uvarint(n) then n× (uint8 kind, key[, value])  // kind 0=put 1=delete
 //	STATS  (empty)
 //	PING   (empty)
+//	TRACE  key
 //
 // Response bodies: GET returns the raw value; SCAN returns uint8(more),
-// uvarint(count), then count× (key value); STATS returns JSON; error
-// statuses carry the message as raw bytes.
+// uvarint(count), then count× (key value); STATS returns JSON; TRACE
+// returns the JSON-encoded read-path trace (StatusOK even when the key is
+// absent — the trace itself reports found/not-found); error statuses
+// carry the message as raw bytes.
 package server
 
 import (
@@ -55,8 +58,11 @@ const (
 	OpScan   Opcode = 5
 	OpBatch  Opcode = 6
 	OpStats  Opcode = 7
+	// OpTrace is a GET that also returns the read path taken: every run
+	// consulted, each filter/fence decision, and cache behavior.
+	OpTrace Opcode = 8
 	// opMax bounds the per-opcode metric arrays.
-	opMax = 8
+	opMax = 9
 )
 
 func (o Opcode) String() string {
@@ -75,6 +81,8 @@ func (o Opcode) String() string {
 		return "batch"
 	case OpStats:
 		return "stats"
+	case OpTrace:
+		return "trace"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(o))
 	}
@@ -198,7 +206,7 @@ func AppendRequest(dst []byte, req *Request) []byte {
 	dst = binary.LittleEndian.AppendUint32(dst, req.ID)
 	dst = append(dst, byte(req.Op))
 	switch req.Op {
-	case OpGet, OpDelete:
+	case OpGet, OpDelete, OpTrace:
 		dst = kv.AppendLengthPrefixed(dst, req.Key)
 	case OpPut:
 		dst = kv.AppendLengthPrefixed(dst, req.Key)
@@ -237,7 +245,7 @@ func DecodeRequest(payload []byte) (Request, error) {
 	var ok bool
 	switch req.Op {
 	case OpPing, OpStats:
-	case OpGet, OpDelete:
+	case OpGet, OpDelete, OpTrace:
 		if req.Key, body, ok = kv.DecodeLengthPrefixed(body); !ok || len(req.Key) == 0 {
 			return req, ErrMalformed
 		}

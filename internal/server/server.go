@@ -16,9 +16,17 @@ import (
 // public *lsmkv.DB satisfy it.
 type Engine interface {
 	Get(key []byte) ([]byte, error)
+	// GetTraced is Get with a read-path trace (the TRACE opcode); the
+	// trace is valid even when the error is the engine's not-found.
+	GetTraced(key []byte) ([]byte, *iostat.Trace, error)
 	Scan(lo, hi []byte, fn func(key, value []byte) bool) error
 	ApplyBatch(ops []core.BatchOp, sync bool) error
 	Stats() iostat.Snapshot
+	// Latencies returns engine-level per-operation latency summaries
+	// (nil when the engine is not tracking latency).
+	Latencies() map[string]iostat.LatencySummary
+	// Events returns the engine's retained lifecycle events, oldest first.
+	Events() []iostat.Event
 	Flush() error
 }
 
@@ -103,6 +111,9 @@ type Server struct {
 	metrics   *Metrics
 	committer *committer
 	bucket    *TokenBucket // nil when unlimited
+	// events records serving-layer incidents (sheds, rejected
+	// connections, drain); engine events live in the engine's own ring.
+	events *iostat.EventLog
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -121,6 +132,7 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:     cfg,
 		metrics: newMetrics(),
+		events:  iostat.NewEventLog(0),
 		conns:   make(map[*conn]struct{}),
 	}
 	s.committer = newCommitter(cfg.DB, cfg.MaxCommitOps, cfg.SyncWrites, s.metrics)
@@ -132,6 +144,10 @@ func New(cfg Config) (*Server, error) {
 
 // Metrics exposes the live server counters.
 func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Events returns the serving layer's retained incident events, oldest
+// first (sheds, rejected connections, drain).
+func (s *Server) Events() []iostat.Event { return s.events.Events() }
 
 // Addr returns the listener address once serving ("" before).
 func (s *Server) Addr() string {
@@ -205,6 +221,10 @@ func (s *Server) admit(nc net.Conn) bool {
 	if s.draining.Load() || len(s.conns) >= s.cfg.MaxConns {
 		s.mu.Unlock()
 		s.metrics.ConnsRejected.Add(1)
+		s.events.Add(iostat.Event{
+			Type: iostat.EventConnRejected, FromLevel: -1, ToLevel: -1,
+			Detail: nc.RemoteAddr().String(),
+		})
 		nc.Close()
 		return false
 	}
@@ -236,6 +256,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if !s.draining.CompareAndSwap(false, true) {
 		return errors.New("server: already shut down")
 	}
+	s.events.Add(iostat.Event{Type: iostat.EventDrain, FromLevel: -1, ToLevel: -1})
 	s.mu.Lock()
 	if s.ln != nil {
 		s.ln.Close()

@@ -63,6 +63,7 @@ func testDBOpts(fs vfs.FS) core.Options {
 		Dir:           "db",
 		FS:            fs,
 		MemtableBytes: 4 << 20,
+		TrackLatency:  true,
 	}
 }
 

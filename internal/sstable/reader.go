@@ -217,18 +217,25 @@ func (r *Reader) ApproxIndexMemory() int {
 }
 
 // readBlock fetches and decodes the data block behind handle h, consulting
-// the block cache first.
-func (r *Reader) readBlock(h fence.BlockHandle) (*block, error) {
+// the block cache first. rt, when non-nil, receives per-lookup cache and
+// read accounting for the read-path trace.
+func (r *Reader) readBlock(h fence.BlockHandle, rt *iostat.RunTrace) (*block, error) {
 	var raw []byte
 	if c := r.opts.Cache; c != nil {
 		if cached, ok := c.Get(r.opts.FileNum, h.Offset); ok {
 			if r.opts.Stats != nil {
 				r.opts.Stats.BlockCacheHits.Add(1)
 			}
+			if rt != nil {
+				rt.CacheHits++
+			}
 			return decodeBlock(cached)
 		}
 		if r.opts.Stats != nil {
 			r.opts.Stats.BlockCacheMisses.Add(1)
+		}
+		if rt != nil {
+			rt.CacheMisses++
 		}
 	}
 	raw = make([]byte, h.Length)
@@ -238,6 +245,9 @@ func (r *Reader) readBlock(h fence.BlockHandle) (*block, error) {
 	if r.opts.Stats != nil {
 		r.opts.Stats.BlockReads.Add(1)
 		r.opts.Stats.BytesRead.Add(int64(h.Length))
+	}
+	if rt != nil {
+		rt.BlockReads++
 	}
 	if c := r.opts.Cache; c != nil {
 		c.Insert(r.opts.FileNum, h.Offset, raw)
@@ -251,7 +261,7 @@ func (r *Reader) PrefetchBlock(i int) error {
 	if i < 0 || i >= r.index.Len() {
 		return nil
 	}
-	_, err := r.readBlock(r.index.Entry(i).Handle)
+	_, err := r.readBlock(r.index.Entry(i).Handle, nil)
 	return err
 }
 
@@ -338,17 +348,32 @@ func minInt(a, b int) int {
 // MayContain consults the table's point filter without touching storage.
 // It returns true when the table must be probed.
 func (r *Reader) MayContain(kh filter.KeyHash) bool {
+	return r.MayContainTraced(kh, nil)
+}
+
+// MayContainTraced is MayContain with the filter verdict recorded into rt
+// (when non-nil) for the read-path trace.
+func (r *Reader) MayContainTraced(kh filter.KeyHash, rt *iostat.RunTrace) bool {
 	if r.filter == nil {
+		if rt != nil {
+			rt.Filter = iostat.FilterNone
+		}
 		return true
 	}
 	if r.opts.Stats != nil {
 		r.opts.Stats.FilterProbes.Add(1)
 	}
 	if r.filter.MayContainHash(kh) {
+		if rt != nil {
+			rt.Filter = iostat.FilterMaybe
+		}
 		return true
 	}
 	if r.opts.Stats != nil {
 		r.opts.Stats.FilterNegatives.Add(1)
+	}
+	if rt != nil {
+		rt.Filter = iostat.FilterNegativeVerdict
 	}
 	return false
 }
@@ -375,8 +400,22 @@ func (r *Reader) MayContainRange(lo, hi []byte) bool {
 // expected to have consulted MayContain first (the engine screens runs
 // with the shared key hash); Get itself applies partitioned filters.
 func (r *Reader) Get(userKey []byte, kh filter.KeyHash, seq kv.SeqNum) (value []byte, kind kv.Kind, found bool, err error) {
+	return r.GetTraced(userKey, kh, seq, nil)
+}
+
+// GetTraced is Get with the block-level work recorded into rt (when
+// non-nil): the fence/learned landing block, per-block partitioned filter
+// verdicts, and cache/read accounting. A nil rt makes it identical to Get.
+func (r *Reader) GetTraced(userKey []byte, kh filter.KeyHash, seq kv.SeqNum, rt *iostat.RunTrace) (value []byte, kind kv.Kind, found bool, err error) {
 	search := kv.MakeSearchKey(userKey, seq)
 	b := r.findStartBlock(userKey)
+	if rt != nil {
+		rt.StartBlock = b
+		rt.LearnedIndex = r.model != nil
+		if r.partitions != nil {
+			rt.Filter = iostat.FilterPartitioned
+		}
+	}
 	touched := false
 	for ; b < r.index.Len(); b++ {
 		// Once fences pass the user key, no later block can hold it.
@@ -391,14 +430,20 @@ func (r *Reader) Get(userKey []byte, kh filter.KeyHash, seq kv.SeqNum) (value []
 				if r.opts.Stats != nil {
 					r.opts.Stats.FilterNegatives.Add(1)
 				}
+				if rt != nil {
+					rt.PartitionNegatives++
+				}
 				continue
 			}
 		}
-		blk, err := r.readBlock(r.index.Entry(b).Handle)
+		blk, err := r.readBlock(r.index.Entry(b).Handle, rt)
 		if err != nil {
 			return nil, 0, false, err
 		}
 		touched = true
+		if rt != nil {
+			rt.Blocks++
+		}
 		it := newBlockIter(blk)
 		var ok bool
 		if r.opts.UseBlockHashIndex && blk.hasHash {
@@ -430,10 +475,15 @@ func (r *Reader) Get(userKey []byte, kh filter.KeyHash, seq kv.SeqNum) (value []
 		}
 		break // landed on a later user key: no visible version exists
 	}
-	if touched && r.opts.Stats != nil {
+	if touched {
 		// The filter (or absence of one) admitted the probe but the key
 		// was not here: a superfluous storage access.
-		r.opts.Stats.FilterFalsePositives.Add(1)
+		if r.opts.Stats != nil {
+			r.opts.Stats.FilterFalsePositives.Add(1)
+		}
+		if rt != nil {
+			rt.FalsePositive = true
+		}
 	}
 	return nil, 0, false, nil
 }
@@ -459,7 +509,7 @@ func (ti *tableIter) loadBlock(ord int) bool {
 		ti.bi = nil
 		return false
 	}
-	blk, err := ti.r.readBlock(ti.r.index.Entry(ord).Handle)
+	blk, err := ti.r.readBlock(ti.r.index.Entry(ord).Handle, nil)
 	if err != nil {
 		ti.err = err
 		ti.bi = nil

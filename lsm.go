@@ -172,6 +172,14 @@ type Options struct {
 	// Stats, when non-nil, receives I/O accounting shared with the
 	// caller; otherwise the DB keeps a private instance.
 	Stats *iostat.Stats
+	// TrackLatency enables per-operation latency histograms, read via
+	// DB.Latencies. Off by default; when off the hot path pays a single
+	// nil check.
+	TrackLatency bool
+	// EventLogSize bounds the in-memory ring of engine lifecycle events
+	// (flushes, compactions, WAL activity), read via DB.Events. 0 selects
+	// the default (512); negative disables event recording.
+	EventLogSize int
 	// Logf receives engine event logs when set.
 	Logf func(format string, args ...any)
 
@@ -335,6 +343,8 @@ func (o *Options) toCore(dir string) (core.Options, error) {
 		VlogSegmentBytes:         o.VlogSegmentBytes,
 		CompactionMaxBytesPerSec: o.CompactionMaxBytesPerSec,
 		Stats:                    o.Stats,
+		TrackLatency:             o.TrackLatency,
+		EventLogSize:             o.EventLogSize,
 		Logf:                     o.Logf,
 	}, nil
 }
@@ -370,6 +380,15 @@ func (db *DB) Put(key, value []byte) error { return db.inner.Put(key, value) }
 
 // Get returns the newest value of key, or ErrNotFound.
 func (db *DB) Get(key []byte) ([]byte, error) { return db.inner.Get(key) }
+
+// Trace is the record of one traced point lookup: every buffer and sorted
+// run consulted, how each screened the probe, and the block-level work.
+type Trace = iostat.Trace
+
+// GetTraced is Get with a read-path trace. The trace is returned even on
+// ErrNotFound — absent keys are the interesting case for diagnosing read
+// amplification. Tracing allocates; use it for diagnostics, not hot paths.
+func (db *DB) GetTraced(key []byte) ([]byte, *Trace, error) { return db.inner.GetTraced(key) }
 
 // Delete removes key.
 func (db *DB) Delete(key []byte) error { return db.inner.Delete(key) }
@@ -429,6 +448,19 @@ func (db *DB) RunValueLogGC() (bool, error) { return db.inner.RunValueLogGC() }
 
 // Stats returns a snapshot of the engine's I/O counters.
 func (db *DB) Stats() iostat.Snapshot { return db.inner.Stats() }
+
+// LatencySummary carries one operation's latency quantiles.
+type LatencySummary = iostat.LatencySummary
+
+// Latencies returns per-operation latency summaries keyed "get", "put",
+// "delete", "scan". Nil unless Options.TrackLatency is set.
+func (db *DB) Latencies() map[string]LatencySummary { return db.inner.Latencies() }
+
+// Event is one recorded engine lifecycle event.
+type Event = iostat.Event
+
+// Events returns the retained engine lifecycle events, oldest first.
+func (db *DB) Events() []Event { return db.inner.Events() }
 
 // LevelInfo describes one level of the tree.
 type LevelInfo = core.LevelInfo
