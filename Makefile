@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race crash bench bench-server experiments examples fuzz serve clean cover fmt-check doc-check
+.PHONY: all build test race crash bench bench-server bench-stall experiments examples fuzz serve clean cover fmt-check doc-check
 
 all: build test
 
@@ -56,9 +56,15 @@ race:
 crash:
 	$(GO) test ./internal/core/ -run 'TestCrash' -count=1 -crash.iters=100
 
-# One testing.B bench per experiment (E1-E13) plus per-package microbenches.
+# One testing.B bench per experiment (E1-E14) plus per-package microbenches.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Single-worker vs pooled compaction under write-heavy ingest: Put
+# p99/p999 and total stall/slowdown time (experiment E14). Appends the
+# table to bench_results.txt so before/after runs accumulate.
+bench-stall:
+	$(GO) run ./cmd/lsmbench -e E14 | tee -a bench_results.txt
 
 # Group-commit microbench: coalesced vs per-op-sync committer over the
 # full network stack (see bench_results.txt for a recorded run).

@@ -15,6 +15,8 @@
 //
 //	lsmserver -db /path [-addr :4440] [-metrics :4441] [-preset default]
 //	          [-sync] [-rate 0] [-max-conns 1024]
+//	          [-compaction-concurrency 2] [-compaction-rate 0]
+//	          [-l0-slowdown 0] [-l0-stop 0]
 //	          [-debug-addr 127.0.0.1:4442] [-track-latency=true]
 package main
 
@@ -60,6 +62,10 @@ func main() {
 		rate         = flag.Float64("rate", 0, "request rate limit per second (0 = unlimited)")
 		burst        = flag.Int("burst", 0, "token bucket burst (default derived from -rate)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long graceful shutdown may take")
+		compactConc  = flag.Int("compaction-concurrency", 0, "background compaction workers (0 = engine default of 2)")
+		compactRate  = flag.Int64("compaction-rate", 0, "combined compaction write ceiling in bytes/sec, shared by all workers (0 = unthrottled)")
+		l0Slowdown   = flag.Int("l0-slowdown", 0, "L0 run count where writes start slowing (0 = engine default)")
+		l0Stop       = flag.Int("l0-stop", 0, "L0 run count where writes block (0 = engine default)")
 		debugAddr    = flag.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this private HTTP address (empty disables)")
 		trackLatency = flag.Bool("track-latency", true, "record engine-level latency histograms (one nil check per op when off)")
 		verbose      = flag.Bool("v", false, "log engine and server events")
@@ -93,6 +99,10 @@ func main() {
 	}
 	opts.Logf = logf
 	opts.TrackLatency = *trackLatency
+	opts.CompactionConcurrency = *compactConc
+	opts.CompactionMaxBytesPerSec = *compactRate
+	opts.L0SlowdownTrigger = *l0Slowdown
+	opts.L0StopTrigger = *l0Stop
 
 	db, err := lsmkv.Open(*dir, opts)
 	if err != nil {

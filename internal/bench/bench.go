@@ -1,6 +1,6 @@
 // Package bench implements the experiment harness that regenerates, as
 // printed tables, every performance claim catalogued in DESIGN.md
-// (experiments E1–E12). Each experiment is a self-contained function that
+// (experiments E1–E14). Each experiment is a self-contained function that
 // builds engines in temporary directories, drives them with the workload
 // generators, and prints the same rows the tutorial's claims are stated
 // in — expected I/Os per operation, write amplification, hit rates,
@@ -82,6 +82,8 @@ func Registry() []Experiment {
 			"Computing the key digest once and deriving every filter probe from it removes per-run hashing CPU.", E12},
 		{"E13", "Compaction throttling and foreground-latency stability",
 			"Pacing compaction output flattens the client-visible read-latency tail during ingest (the SILK/throttling stability result); writer stalls move the other way.", E13},
+		{"E14", "Concurrent compaction workers and write stalls",
+			"Splitting background work across a pool of compaction workers keeps L0 drained while deep merges run: total write-stall time and the Put p999 tail drop versus a single worker.", E14},
 	}
 }
 

@@ -15,7 +15,13 @@
 //	               direction of arbitrary per-level run counts)
 //
 // The package plans over immutable views of the tree and returns Tasks;
-// the engine executes them.
+// the engine executes them. Two layers share the work: the Picker plans
+// single tasks against a tree view (stateless but for the round-robin
+// cursor), and the Scheduler hands tasks to a pool of concurrent
+// compaction workers, claiming disjoint level/file sets so no two
+// in-flight jobs overlap, ordering candidates L0-first then by pressure
+// score, and metering their combined write rate through one shared
+// token-bucket RateLimiter.
 package compaction
 
 import (
@@ -207,8 +213,22 @@ type Task struct {
 	// FreshRun reports whether the output forms a new run in TargetLevel
 	// (true) or replaces TargetFiles within the level's first run (false).
 	FreshRun bool
+	// Score is the pressure score of the source level at planning time
+	// (1.0 = exactly at budget); the scheduler orders candidates by it.
+	Score float64
 	// Reason is a human-readable trigger description for logs.
 	Reason string
+}
+
+// Levels returns the set of levels the task touches: its source and its
+// target. Two tasks whose level sets intersect must never run
+// concurrently — they could read files the other is deleting, or install
+// overlapping outputs into the same run.
+func (t *Task) Levels() []int {
+	if t.FromLevel == t.TargetLevel {
+		return []int{t.FromLevel}
+	}
+	return []int{t.FromLevel, t.TargetLevel}
 }
 
 // InputBytes returns the total bytes the task reads.

@@ -3,6 +3,7 @@ package compaction
 import (
 	"bytes"
 	"fmt"
+	"sort"
 )
 
 // Picker plans compactions for a tree shaped by Shape. It is stateful only
@@ -40,13 +41,30 @@ func lastPopulated(levels []LevelView) int {
 // satisfies its shape. levels[0] is the first storage level (flushed
 // runs); deeper levels follow.
 func (p *Picker) Pick(levels []LevelView) *Task {
+	return p.PickUnder(levels, nil)
+}
+
+// PickUnder returns the most urgent compaction task accepted by admit, or
+// nil when no over-budget level yields an acceptable task. A nil admit
+// accepts everything. Candidate levels are ordered by priority: level 0
+// first (an overloaded L0 stalls writers, so its relief preempts
+// everything), then deeper levels by descending pressure score — except
+// that an over-budget merge target is always drained before its source
+// (the cascade rule below). The
+// Scheduler uses admit to skip tasks conflicting with in-flight jobs, so
+// the planner is only invoked for levels actually considered — the
+// round-robin cursor never advances for a level whose task was not taken.
+func (p *Picker) PickUnder(levels []LevelView, admit func(*Task) bool) *Task {
 	if len(levels) == 0 {
 		return nil
 	}
 	last := lastPopulated(levels)
 
-	bestScore := 1.0
-	bestLevel := -1
+	type scored struct {
+		level int
+		score float64
+	}
+	var over []scored
 	for i := 0; i <= last && i < len(levels); i++ {
 		l := levels[i]
 		if len(l.Runs) == 0 {
@@ -63,15 +81,88 @@ func (p *Picker) Pick(levels []LevelView) *Task {
 				score = sz
 			}
 		}
-		if score > bestScore {
-			bestScore = score
-			bestLevel = i
+		if score > 1.0 {
+			over = append(over, scored{i, score})
 		}
 	}
-	if bestLevel < 0 {
-		return nil
+	sort.Slice(over, func(a, b int) bool {
+		sa, sb := over[a], over[b]
+		if (sa.level == 0) != (sb.level == 0) {
+			return sa.level == 0
+		}
+		if sa.score != sb.score {
+			return sa.score > sb.score
+		}
+		return sa.level < sb.level
+	})
+	// Cascade rule: a *leveled* merge into a target that is itself over
+	// budget only grows the run it must rewrite — and under concurrent
+	// workers it starves the target's own compaction outright, because
+	// the merge claims the target level and the top-priority source (L0
+	// above all) re-claims it the moment it is released, so the target
+	// balloons and every rewrite gets slower. So within every run of
+	// adjacent over-budget levels joined by leveled moves, drain
+	// deepest-first; chains keep their head's priority relative to other
+	// candidates, and the scheduler's admit callback still lets disjoint
+	// chain segments (L0->L1 alongside L2->L3) run in parallel. Tiered
+	// moves are exempt: they append a fresh run without rewriting the
+	// target, and reordering them just forces premature self-merges.
+	leveledInto := func(i int) bool {
+		target := i + 1
+		budget := p.shape.K
+		if target >= last || target == p.shape.MaxLevels-1 {
+			budget = p.shape.Z
+		}
+		return budget == 1
 	}
-	return p.planLevel(levels, bestLevel, last)
+	inSet := make(map[int]bool, len(over))
+	byLevel := make(map[int]scored, len(over))
+	for _, s := range over {
+		inSet[s.level] = true
+		byLevel[s.level] = s
+	}
+	placed := make(map[int]bool, len(over))
+	ordered := make([]scored, 0, len(over))
+	for _, s := range over {
+		if placed[s.level] {
+			continue
+		}
+		top := s.level
+		for inSet[top+1] && !placed[top+1] && leveledInto(top) {
+			top++
+		}
+		for l := top; l >= s.level; l-- {
+			ordered = append(ordered, byLevel[l])
+			placed[l] = true
+		}
+	}
+	over = ordered
+	// blocked marks candidates that could not run this round; a shallower
+	// chain member must not fall through past its blocked target — merging
+	// into an over-budget run only deepens the hole, and (worse) the
+	// merge's bandwidth demand would starve the very job holding the
+	// target's claim. Refusing keeps the chain's head idle until the
+	// blocker finishes, at which point the cascade drains it for real.
+	// Chains are placed deepest-first above, so a member's target verdict
+	// is always known before the member itself is considered.
+	blocked := make(map[int]bool)
+	for _, s := range over {
+		if inSet[s.level+1] && blocked[s.level+1] && leveledInto(s.level) {
+			blocked[s.level] = true
+			continue
+		}
+		t := p.planLevel(levels, s.level, last)
+		if t == nil {
+			blocked[s.level] = true
+			continue
+		}
+		t.Score = s.score
+		if admit == nil || admit(t) {
+			return t
+		}
+		blocked[s.level] = true
+	}
+	return nil
 }
 
 // planLevel builds the task that relieves level i.

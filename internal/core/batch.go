@@ -99,16 +99,8 @@ func (db *DB) ApplyBatch(ops []BatchOp, sync bool) error {
 
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	for !db.closed && db.bgErr == nil &&
-		(len(db.imms) >= db.opts.MaxImmutableMemtables || db.l0RunsLocked() >= db.opts.L0StopTrigger) {
-		db.wake()
-		db.cond.Wait()
-	}
-	if db.closed {
-		return ErrClosed
-	}
-	if db.bgErr != nil {
-		return db.bgErr
+	if err := db.waitWriteLocked(); err != nil {
+		return err
 	}
 	firstSeq := db.seq + 1
 	db.seq += kv.SeqNum(len(entries))

@@ -361,7 +361,6 @@ func (db *DB) runCompaction(task *compaction.Task) error {
 	wopts := db.writerOptionsForLevel(task.TargetLevel, int(totalEntries), dropped)
 	var outputs []*manifest.FileMeta
 	start := time.Now()
-	var written uint64
 	for merged.Valid() {
 		meta, _, err := db.buildTable(merged, wopts, maxFileBytes, discard)
 		if err != nil {
@@ -369,16 +368,15 @@ func (db *DB) runCompaction(task *compaction.Task) error {
 		}
 		if meta != nil {
 			outputs = append(outputs, meta)
-			written += meta.Size
-		}
-		// Compaction throttling: pace output so the job's write rate
-		// stays at the configured ceiling, yielding the machine to
-		// foreground traffic between output files.
-		if rate := db.opts.CompactionMaxBytesPerSec; rate > 0 && written > 0 {
-			target := time.Duration(float64(written) / float64(rate) * float64(time.Second))
-			if ahead := target - time.Since(start); ahead > 0 {
-				time.Sleep(ahead)
-			}
+			// Compaction throttling: each output file is paid for out of
+			// the token bucket shared by every background job, so the
+			// configured ceiling bounds the workers' combined write rate.
+			// (Pacing each job on its own wall clock — the old scheme —
+			// hands every concurrent worker the full budget.) The jobs
+			// writers stall behind are urgent — L0->L1 itself and the
+			// L1 drain the cascade rule may order ahead of it — so their
+			// demand is reserved ahead of deep merges.
+			db.rate.WaitFor(int64(meta.Size), task.FromLevel <= 1)
 		}
 	}
 	if err := merged.Error(); err != nil {
@@ -538,6 +536,7 @@ func (db *DB) installVersionEdit(edit func(*manifest.State), dropped map[uint64]
 	db.state = newState
 	db.current = newVersion
 	db.refreshMonkeyLocked()
+	db.refreshDebtLocked()
 	db.mu.Unlock()
 
 	for num := range dropped {

@@ -43,11 +43,15 @@ type immutableBuffer struct {
 
 // DB is the storage engine. It is safe for concurrent use.
 type DB struct {
-	opts   Options
-	picker *compaction.Picker
+	opts  Options
+	sched *compaction.Scheduler
+	// rate meters compaction output across all workers; nil when
+	// unthrottled.
+	rate *compaction.RateLimiter
 
 	mu      sync.Mutex
-	cond    *sync.Cond // signals background work / stall relief
+	cond    *sync.Cond // wakes writers and waiters when maintenance progresses
+	bgCond  *sync.Cond // wakes background workers when work may exist
 	mem     buffer
 	imms    []immutableBuffer
 	wal     *wal.Writer
@@ -57,6 +61,14 @@ type DB struct {
 	current *version
 	closed  bool
 	bgErr   error
+	// debtBytes is the pending compaction debt (bytes the tree must
+	// rewrite to satisfy its shape), recomputed on every version install;
+	// the slowdown band reads it per write.
+	debtBytes int64
+	// slowdownActive tracks whether the current writes are inside a
+	// slowdown episode, so the event log gets one event per episode
+	// rather than one per delayed write.
+	slowdownActive bool
 
 	// snapshots maps active snapshot seqs to their refcounts.
 	snapshots map[kv.SeqNum]int
@@ -75,8 +87,9 @@ type DB struct {
 	// events is the bounded lifecycle event ring; nil when disabled.
 	events *iostat.EventLog
 
-	bgWake chan struct{}
-	bgDone chan struct{}
+	// workers tracks the flush worker and the compaction pool for
+	// shutdown.
+	workers sync.WaitGroup
 }
 
 // Open creates or reopens a database.
@@ -94,13 +107,13 @@ func Open(opts Options) (*DB, error) {
 	}
 	db := &DB{
 		opts:      o,
-		picker:    picker,
+		sched:     compaction.NewScheduler(picker),
+		rate:      compaction.NewRateLimiter(o.CompactionMaxBytesPerSec),
 		snapshots: make(map[kv.SeqNum]int),
 		registry:  newTableRegistry(),
-		bgWake:    make(chan struct{}, 1),
-		bgDone:    make(chan struct{}),
 	}
 	db.cond = sync.NewCond(&db.mu)
+	db.bgCond = sync.NewCond(&db.mu)
 	if o.TrackLatency {
 		db.lat = &iostat.OpLatencies{}
 	}
@@ -129,6 +142,7 @@ func Open(opts Options) (*DB, error) {
 		return nil, err
 	}
 	db.refreshMonkeyLocked()
+	db.refreshDebtLocked()
 
 	db.mem = db.newBuffer()
 	if err := db.replayWALs(); err != nil {
@@ -142,7 +156,11 @@ func Open(opts Options) (*DB, error) {
 		}
 	}
 
-	go db.background()
+	db.workers.Add(1 + o.CompactionConcurrency)
+	go db.flushLoop()
+	for i := 0; i < o.CompactionConcurrency; i++ {
+		go db.compactionLoop()
+	}
 	return db, nil
 }
 
@@ -285,18 +303,8 @@ func (db *DB) write(kind kv.Kind, key, value []byte) error {
 
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	// Write stalls: a full flush queue or an overloaded level 0 both mean
-	// maintenance has fallen behind; wait for the background thread.
-	for !db.closed && db.bgErr == nil &&
-		(len(db.imms) >= db.opts.MaxImmutableMemtables || db.l0RunsLocked() >= db.opts.L0StopTrigger) {
-		db.wake()
-		db.cond.Wait()
-	}
-	if db.closed {
-		return ErrClosed
-	}
-	if db.bgErr != nil {
-		return db.bgErr
+	if err := db.waitWriteLocked(); err != nil {
+		return err
 	}
 	db.seq++
 	seq := db.seq
@@ -339,8 +347,133 @@ func (db *DB) freezeMemLocked() error {
 			return err
 		}
 	}
-	db.wake()
+	db.bgCond.Broadcast()
 	return nil
+}
+
+// waitWriteLocked applies the engine's graduated backpressure before a
+// write may proceed. Two bands:
+//
+//  1. Soft slowdown: once level 0 or the pending compaction debt crosses
+//     its slowdown trigger, the write is delayed (lock released) by an
+//     amount ramping quadratically toward SlowdownMaxDelay — smearing
+//     maintenance cost over many writes instead of saving it all for
+//     one cliff.
+//  2. Hard stop: at L0StopTrigger or a full flush queue, the write
+//     blocks until a worker makes room — the RocksDB stop trigger,
+//     now the last resort rather than the only mechanism.
+//
+// Caller holds db.mu; the lock may be released and reacquired.
+func (db *DB) waitWriteLocked() error {
+	if d := db.slowdownDelayLocked(); d > 0 {
+		if !db.slowdownActive {
+			db.slowdownActive = true
+			db.events.Add(iostat.Event{
+				Type: iostat.EventWriteSlowdown, FromLevel: -1, ToLevel: -1,
+				Detail: fmt.Sprintf("l0=%d debt=%dMiB delay=%s",
+					db.l0RunsLocked(), db.debtBytes>>20, d),
+			})
+		}
+		db.opts.Stats.WriteSlowdowns.Add(1)
+		db.opts.Stats.WriteSlowdownNs.Add(int64(d))
+		db.bgCond.Broadcast()
+		db.mu.Unlock()
+		time.Sleep(d)
+		db.mu.Lock()
+	} else {
+		db.slowdownActive = false
+	}
+
+	if db.stallLocked() {
+		start := time.Now()
+		for !db.closed && db.bgErr == nil && db.stallLocked() {
+			db.bgCond.Broadcast()
+			db.cond.Wait()
+		}
+		d := time.Since(start)
+		db.opts.Stats.WriteStalls.Add(1)
+		db.opts.Stats.WriteStallNs.Add(int64(d))
+		if db.lat != nil {
+			db.lat.Stall.Observe(d)
+		}
+		db.events.Add(iostat.Event{
+			Type: iostat.EventWriteStall, FromLevel: -1, ToLevel: -1,
+			DurMs:  float64(d.Microseconds()) / 1e3,
+			Detail: fmt.Sprintf("imms=%d l0=%d", len(db.imms), db.l0RunsLocked()),
+		})
+	}
+	if db.closed {
+		return ErrClosed
+	}
+	return db.bgErr
+}
+
+// stallLocked reports whether writes must hard-stop: a full flush queue
+// or an overloaded level 0 both mean maintenance has lost the race with
+// ingest. Caller holds db.mu.
+func (db *DB) stallLocked() bool {
+	return len(db.imms) >= db.opts.MaxImmutableMemtables ||
+		db.l0RunsLocked() >= db.opts.L0StopTrigger
+}
+
+// slowdownDelayLocked returns the soft-backpressure delay for the next
+// write: the worse of the L0 pressure (nonzero from the slowdown trigger
+// on, ramping toward the stop trigger) and the debt pressure (over the
+// debt limit's upper half), squared so light pressure is nearly free and
+// the delay approaches SlowdownMaxDelay only near the hard stop. Caller
+// holds db.mu.
+func (db *DB) slowdownDelayLocked() time.Duration {
+	maxDelay := db.opts.SlowdownMaxDelay
+	if maxDelay <= 0 {
+		return 0
+	}
+	var frac float64
+	if lo, hi := db.opts.L0SlowdownTrigger, db.opts.L0StopTrigger; hi > lo {
+		// The band engages AT the trigger: under a starved compactor the
+		// steady state parks exactly on L0SlowdownTrigger, so a ramp that
+		// is zero there would never fire before the hard stop.
+		if l0 := db.l0RunsLocked(); l0 >= lo {
+			if f := float64(l0-lo+1) / float64(hi-lo); f > frac {
+				frac = f
+			}
+		}
+	}
+	if limit := db.opts.PendingCompactionSlowdownBytes; limit > 0 {
+		if f := float64(db.debtBytes-limit/2) / float64(limit-limit/2); f > frac {
+			frac = f
+		}
+	}
+	if frac <= 0 {
+		return 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	return time.Duration(frac * frac * float64(maxDelay))
+}
+
+// refreshDebtLocked recomputes the pending compaction debt: every byte in
+// level 0 (all of it must be rewritten at least once) plus each deeper
+// level's bytes over its capacity. Caller holds db.mu; called on every
+// version install so per-write reads are a field load.
+func (db *DB) refreshDebtLocked() {
+	db.debtBytes = 0
+	if db.current == nil {
+		return
+	}
+	for i, level := range db.current.levels {
+		var sz int64
+		for _, r := range level {
+			for _, t := range r.tables {
+				sz += int64(t.meta.Size)
+			}
+		}
+		if i == 0 {
+			db.debtBytes += sz
+		} else if c := int64(db.opts.Shape.LevelCapacity(i)); c > 0 && sz > c {
+			db.debtBytes += sz - c
+		}
+	}
 }
 
 // l0RunsLocked returns the current run count of level 0. Caller holds
@@ -350,13 +483,6 @@ func (db *DB) l0RunsLocked() int {
 		return 0
 	}
 	return len(db.current.levels[0])
-}
-
-func (db *DB) wake() {
-	select {
-	case db.bgWake <- struct{}{}:
-	default:
-	}
 }
 
 // Get returns the newest visible value of key.
@@ -529,73 +655,101 @@ func (db *DB) Flush() error {
 	return err
 }
 
-// WaitIdle blocks until no flush or compaction work remains.
+// WaitIdle blocks until no flush or compaction work remains: the flush
+// queue is empty, no compaction is in flight, and the tree satisfies its
+// shape.
 func (db *DB) WaitIdle() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	for {
-		db.mu.Lock()
 		if db.closed {
-			db.mu.Unlock()
 			return ErrClosed
 		}
 		if db.bgErr != nil {
-			err := db.bgErr
-			db.mu.Unlock()
-			return err
+			return db.bgErr
 		}
-		idle := len(db.imms) == 0 && db.picker.Pick(db.current.view()) == nil
-		db.mu.Unlock()
-		if idle {
+		if len(db.imms) == 0 && db.sched.Quiesced(db.current.view()) {
 			return nil
 		}
-		db.wake()
-		db.mu.Lock()
+		db.bgCond.Broadcast()
 		db.cond.Wait()
-		db.mu.Unlock()
 	}
 }
 
-// background is the single maintenance goroutine: it drains the flush
-// queue and applies compactions until the shape is satisfied.
-func (db *DB) background() {
-	defer close(db.bgDone)
+// setBgErrLocked records the first background failure and wakes every
+// writer and worker so they observe it. Caller holds db.mu.
+func (db *DB) setBgErrLocked(err error) {
+	if db.bgErr == nil {
+		db.bgErr = err
+		db.opts.Logf("background error: %v", err)
+	}
+	db.cond.Broadcast()
+	db.bgCond.Broadcast()
+}
+
+// flushLoop is the dedicated flush worker: it drains the flush queue and
+// nothing else, so a long compaction can never block memtable flushes —
+// the failure mode that turned maintenance debt into hard write stalls
+// when one goroutine did both jobs.
+func (db *DB) flushLoop() {
+	defer db.workers.Done()
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	for {
-		db.mu.Lock()
-		for !db.closed && db.bgErr == nil && len(db.imms) == 0 && db.picker.Pick(db.current.view()) == nil {
-			db.mu.Unlock()
-			select {
-			case <-db.bgWake:
-			}
-			db.mu.Lock()
-			if db.closed {
-				db.mu.Unlock()
-				return
-			}
+		for !db.closed && db.bgErr == nil && len(db.imms) == 0 {
+			db.bgCond.Wait()
 		}
 		if db.closed || db.bgErr != nil {
-			db.mu.Unlock()
 			return
-		}
-		var job func() error
-		if len(db.imms) > 0 {
-			job = db.flushOldestImm
-		} else if task := db.picker.Pick(db.current.view()); task != nil {
-			job = func() error { return db.runCompaction(task) }
 		}
 		db.mu.Unlock()
-		if job == nil {
-			continue
-		}
-		if err := job(); err != nil {
-			db.mu.Lock()
-			db.bgErr = err
-			db.opts.Logf("background error: %v", err)
-			db.cond.Broadcast()
-			db.mu.Unlock()
-			return
-		}
+		err := db.flushOldestImm()
 		db.mu.Lock()
+		if err != nil {
+			db.setBgErrLocked(err)
+			return
+		}
+		// A flush frees a queue slot for writers and may create
+		// compaction work (a new L0 run).
 		db.cond.Broadcast()
+		db.bgCond.Broadcast()
+	}
+}
+
+// compactionLoop is one worker of the compaction pool. The scheduler
+// hands each worker a task whose level/file claims are disjoint from
+// every in-flight task, so merges proceed in parallel while version-edit
+// installs stay serialized through installVersionEdit's manifest lock.
+func (db *DB) compactionLoop() {
+	defer db.workers.Done()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for {
+		var task *compaction.Task
+		for !db.closed && db.bgErr == nil {
+			if task = db.sched.Next(db.current.view()); task != nil {
+				break
+			}
+			db.bgCond.Wait()
+		}
+		if db.closed || db.bgErr != nil {
+			if task != nil {
+				db.sched.Done(task)
+			}
+			return
+		}
 		db.mu.Unlock()
+		err := db.runCompaction(task)
+		db.sched.Done(task)
+		db.mu.Lock()
+		if err != nil {
+			db.setBgErrLocked(err)
+			return
+		}
+		// Progress may relieve a stall, satisfy WaitIdle, or unblock a
+		// candidate task that conflicted with this one's claims.
+		db.cond.Broadcast()
+		db.bgCond.Broadcast()
 	}
 }
 
@@ -609,15 +763,15 @@ func (db *DB) Close() error {
 	// Flush what we can before shutting down.
 	flushErr := db.freezeMemLocked()
 	for flushErr == nil && len(db.imms) > 0 && db.bgErr == nil {
-		db.wake()
+		db.bgCond.Broadcast()
 		db.cond.Wait()
 	}
 	db.closed = true
 	db.cond.Broadcast()
+	db.bgCond.Broadcast()
 	db.mu.Unlock()
 
-	db.wake()
-	<-db.bgDone
+	db.workers.Wait()
 
 	db.mu.Lock()
 	if db.wal != nil {

@@ -6,10 +6,20 @@
 // cache (with compaction-aware prefetch), data-block hash indexes, and
 // learned indexes. Every design choice the tutorial surveys is a field of
 // Options, making the engine a navigable point in the LSM design space.
+//
+// Maintenance runs on a dedicated flush worker plus a pool of
+// CompactionConcurrency compaction workers; the compaction.Scheduler
+// hands the pool disjoint tasks while every version install stays
+// serialized through the manifest lock. Writers feel maintenance debt as
+// graduated backpressure: a soft per-write delay once level 0 or pending
+// compaction debt crosses its slowdown trigger, then the hard stop at
+// L0StopTrigger / MaxImmutableMemtables. TUNING.md is the operator's
+// model of these knobs.
 package core
 
 import (
 	"fmt"
+	"time"
 
 	"lsmkv/internal/cache"
 	"lsmkv/internal/compaction"
@@ -44,8 +54,26 @@ type Options struct {
 	// L0StopTrigger stalls writers while level 0 holds at least this many
 	// runs, so compactions keep pace with flushes instead of starving
 	// behind them (RocksDB's L0 stop trigger). Default 6× the shape's
-	// L0Trigger.
+	// L0Trigger; clamped above L0Trigger, since a stop at or below the
+	// run budget would block writers in a state the picker never plans
+	// relief for.
 	L0StopTrigger int
+	// L0SlowdownTrigger starts the soft backpressure band: once level 0
+	// holds this many runs, each write is delayed by an amount that ramps
+	// quadratically toward SlowdownMaxDelay as L0 approaches
+	// L0StopTrigger. Default 3× the shape's L0Trigger, clamped below the
+	// stop trigger.
+	L0SlowdownTrigger int
+	// SlowdownMaxDelay caps the per-write delay the slowdown band may
+	// inject. Default 1ms; negative disables the band entirely (writes go
+	// full speed until the hard stop).
+	SlowdownMaxDelay time.Duration
+	// PendingCompactionSlowdownBytes is the compaction-debt soft limit:
+	// when the bytes awaiting compaction (all of L0 plus every leveled
+	// level's overage) exceed half this value, writes start slowing, and
+	// at the full value they are delayed by SlowdownMaxDelay. Default
+	// 64 MiB; negative disables the debt component.
+	PendingCompactionSlowdownBytes int64
 	// DisableWAL trades durability for ingest speed.
 	DisableWAL bool
 	// WALSync fsyncs the log on every write batch.
@@ -113,8 +141,16 @@ type Options struct {
 
 	// CompactionMaxBytesPerSec throttles compaction output, trading
 	// slower maintenance for steadier foreground latency (the
-	// SILK/Luo-&-Carey performance-stability direction). 0 disables.
+	// SILK/Luo-&-Carey performance-stability direction). The budget is a
+	// single token bucket shared by every concurrent compaction worker —
+	// it bounds their combined rate — and flushes are exempt (flush
+	// starvation is what stalls writers). 0 disables.
 	CompactionMaxBytesPerSec int64
+	// CompactionConcurrency is the number of background compaction
+	// workers. The scheduler only hands them non-overlapping tasks, so
+	// extra workers help exactly when distinct levels have debt — the
+	// common state under sustained ingest. Default 2.
+	CompactionConcurrency int
 
 	// ---- Instrumentation ----
 
@@ -154,6 +190,31 @@ func (o Options) withDefaults() (Options, error) {
 	}
 	if o.L0StopTrigger <= 0 {
 		o.L0StopTrigger = o.Shape.L0Trigger * 6
+	}
+	// The picker only plans L0 relief once the level exceeds its run
+	// budget (L0Trigger+1 runs); a stop at or below the budget would
+	// block writers in a state no compaction can ever relieve.
+	if o.L0StopTrigger <= o.Shape.L0Trigger {
+		o.L0StopTrigger = o.Shape.L0Trigger + 1
+	}
+	if o.L0SlowdownTrigger <= 0 {
+		o.L0SlowdownTrigger = o.Shape.L0Trigger * 3
+	}
+	if o.L0SlowdownTrigger >= o.L0StopTrigger {
+		o.L0SlowdownTrigger = o.L0StopTrigger - 1
+	}
+	if o.SlowdownMaxDelay == 0 {
+		o.SlowdownMaxDelay = time.Millisecond
+	} else if o.SlowdownMaxDelay < 0 {
+		o.SlowdownMaxDelay = 0
+	}
+	if o.PendingCompactionSlowdownBytes == 0 {
+		o.PendingCompactionSlowdownBytes = 64 << 20
+	} else if o.PendingCompactionSlowdownBytes < 0 {
+		o.PendingCompactionSlowdownBytes = 0
+	}
+	if o.CompactionConcurrency <= 0 {
+		o.CompactionConcurrency = 2
 	}
 	if o.BlockSize <= 0 {
 		o.BlockSize = 4096

@@ -23,6 +23,13 @@ const (
 	EventWALRecovery EventType = "wal-recovery"
 	// EventVlogGC is a value-log garbage collection pass.
 	EventVlogGC EventType = "vlog-gc"
+	// EventWriteStall is a write blocking on the hard stop (L0 stop
+	// trigger or full flush queue); DurMs is the blocked time.
+	EventWriteStall EventType = "write-stall"
+	// EventWriteSlowdown marks the start of a soft-backpressure episode:
+	// writes are being delayed because L0 or compaction debt crossed the
+	// slowdown triggers. One event per episode, not per delayed write.
+	EventWriteSlowdown EventType = "write-slowdown"
 	// EventThrottle is a request shed by the server's token bucket.
 	EventThrottle EventType = "throttle-shed"
 	// EventConnRejected is a connection refused over the server limit.

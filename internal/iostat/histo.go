@@ -192,6 +192,11 @@ type OpLatencies struct {
 	// Batch times whole ApplyBatch calls (the server's write path), one
 	// observation per batch regardless of its op count.
 	Batch Histogram
+	// Stall times hard write stalls: how long individual writes sat
+	// blocked on the L0 stop trigger or a full flush queue. Its shape
+	// distinguishes many short hiccups from a few long cliffs — the two
+	// need different tuning (see TUNING.md).
+	Stall Histogram
 }
 
 // Summaries returns the per-operation latency summaries keyed by
@@ -201,10 +206,10 @@ func (l *OpLatencies) Summaries() map[string]LatencySummary {
 	if l == nil {
 		return nil
 	}
-	out := make(map[string]LatencySummary, 5)
+	out := make(map[string]LatencySummary, 6)
 	for name, h := range map[string]*Histogram{
 		"get": &l.Get, "put": &l.Put, "delete": &l.Delete, "scan": &l.Scan,
-		"batch": &l.Batch,
+		"batch": &l.Batch, "stall": &l.Stall,
 	} {
 		if s := h.Snapshot(); s.Count > 0 {
 			out[name] = s.Summary()

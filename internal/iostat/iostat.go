@@ -78,6 +78,19 @@ type Stats struct {
 	// they carried. BatchedOps/BatchCommits is the mean commit group size.
 	BatchCommits atomic.Int64
 	BatchedOps   atomic.Int64
+	// WriteStalls counts writes that hit the hard stop (full flush queue
+	// or L0 at its stop trigger) and had to block; WriteStallNs is the
+	// total time they spent blocked. Any nonzero value here means
+	// maintenance lost the race with ingest — see WriteSlowdowns for the
+	// graduated band that should absorb pressure first.
+	WriteStalls  atomic.Int64
+	WriteStallNs atomic.Int64
+	// WriteSlowdowns counts writes delayed by the soft slowdown band
+	// (L0 past its slowdown trigger, or compaction debt past its limit);
+	// WriteSlowdownNs is the total injected delay. Slowdown time rising
+	// while stall time stays zero is the backpressure working as designed.
+	WriteSlowdowns  atomic.Int64
+	WriteSlowdownNs atomic.Int64
 }
 
 // Snapshot is a point-in-time copy of every counter.
@@ -106,6 +119,10 @@ type Snapshot struct {
 	WALSyncs               int64
 	BatchCommits           int64
 	BatchedOps             int64
+	WriteStalls            int64
+	WriteStallNs           int64
+	WriteSlowdowns         int64
+	WriteSlowdownNs        int64
 }
 
 // Snapshot copies the current counter values.
@@ -135,6 +152,10 @@ func (s *Stats) Snapshot() Snapshot {
 		WALSyncs:               s.WALSyncs.Load(),
 		BatchCommits:           s.BatchCommits.Load(),
 		BatchedOps:             s.BatchedOps.Load(),
+		WriteStalls:            s.WriteStalls.Load(),
+		WriteStallNs:           s.WriteStallNs.Load(),
+		WriteSlowdowns:         s.WriteSlowdowns.Load(),
+		WriteSlowdownNs:        s.WriteSlowdownNs.Load(),
 	}
 }
 
@@ -165,6 +186,10 @@ func (s Snapshot) Sub(t Snapshot) Snapshot {
 		WALSyncs:               s.WALSyncs - t.WALSyncs,
 		BatchCommits:           s.BatchCommits - t.BatchCommits,
 		BatchedOps:             s.BatchedOps - t.BatchedOps,
+		WriteStalls:            s.WriteStalls - t.WriteStalls,
+		WriteStallNs:           s.WriteStallNs - t.WriteStallNs,
+		WriteSlowdowns:         s.WriteSlowdowns - t.WriteSlowdowns,
+		WriteSlowdownNs:        s.WriteSlowdownNs - t.WriteSlowdownNs,
 	}
 }
 

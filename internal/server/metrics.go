@@ -176,7 +176,10 @@ type metricsPayload struct {
 	Engine iostat.Snapshot `json:"engine"`
 	// EngineLatencies carries the engine's own per-operation histograms
 	// (present only when the engine tracks latency). Unlike Server.Ops,
-	// these exclude network, queueing, and commit-group wait.
+	// these exclude network, queueing, and commit-group wait. The "stall"
+	// key, when present, times hard write stalls — pair it with the
+	// engine's WriteStalls/WriteSlowdowns counters to diagnose
+	// backpressure (see OPERATIONS.md).
 	EngineLatencies map[string]iostat.LatencySummary `json:"engine_latencies,omitempty"`
 	// Events holds both bounded event rings, oldest first.
 	Events eventsPayload `json:"events"`

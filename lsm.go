@@ -20,6 +20,7 @@ package lsmkv
 
 import (
 	"errors"
+	"time"
 
 	"lsmkv/internal/cache"
 	"lsmkv/internal/compaction"
@@ -166,8 +167,28 @@ type Options struct {
 	VlogSegmentBytes uint64
 
 	// CompactionMaxBytesPerSec throttles compaction output, smoothing
-	// foreground latency at the cost of slower maintenance. 0 disables.
+	// foreground latency at the cost of slower maintenance. The budget is
+	// shared by all compaction workers (it bounds their combined rate);
+	// flushes are exempt. 0 disables.
 	CompactionMaxBytesPerSec int64
+	// CompactionConcurrency is the number of background compaction
+	// workers; the scheduler keeps their tasks disjoint. Default 2.
+	CompactionConcurrency int
+	// MaxImmutableMemtables bounds the flush queue; writers hard-stop
+	// beyond it. Default 2.
+	MaxImmutableMemtables int
+	// L0SlowdownTrigger is the level-0 run count where writes begin to be
+	// delayed (soft backpressure); L0StopTrigger is where they block
+	// outright. Defaults: 3× and 6× the layout's L0 trigger.
+	L0SlowdownTrigger int
+	L0StopTrigger     int
+	// SlowdownMaxDelay caps the per-write delay of the slowdown band.
+	// Default 1ms; negative disables the band.
+	SlowdownMaxDelay time.Duration
+	// PendingCompactionSlowdownBytes is the compaction-debt level at
+	// which writes are delayed by the full SlowdownMaxDelay (ramping from
+	// half that debt). Default 64 MiB; negative disables the component.
+	PendingCompactionSlowdownBytes int64
 
 	// Stats, when non-nil, receives I/O accounting shared with the
 	// caller; otherwise the DB keeps a private instance.
@@ -309,11 +330,15 @@ func (o *Options) toCore(dir string) (core.Options, error) {
 		cachePolicy = cache.Clock
 	}
 	return core.Options{
-		Dir:              dir,
-		MemtableBytes:    o.MemtableBytes,
-		TwoLevelMemtable: o.TwoLevelMemtable,
-		DisableWAL:       o.DisableWAL,
-		WALSync:          o.SyncWAL,
+		Dir:                   dir,
+		MemtableBytes:         o.MemtableBytes,
+		TwoLevelMemtable:      o.TwoLevelMemtable,
+		MaxImmutableMemtables: o.MaxImmutableMemtables,
+		L0SlowdownTrigger:     o.L0SlowdownTrigger,
+		L0StopTrigger:         o.L0StopTrigger,
+		SlowdownMaxDelay:      o.SlowdownMaxDelay,
+		DisableWAL:            o.DisableWAL,
+		WALSync:               o.SyncWAL,
 		Shape: compaction.Shape{
 			SizeRatio:   t,
 			K:           k,
@@ -333,19 +358,21 @@ func (o *Options) toCore(dir string) (core.Options, error) {
 			SuRFMode:        rangefilter.SuRFReal,
 			SuRFSuffixBytes: 2,
 		},
-		BlockHashIndex:           o.BlockHashIndex,
-		LearnedIndex:             o.LearnedIndex,
-		CacheBytes:               cacheBytes,
-		CachePolicy:              cachePolicy,
-		PrefetchAfterCompaction:  o.PrefetchAfterCompaction,
-		ValueSeparation:          o.ValueSeparation,
-		ValueThreshold:           o.ValueThreshold,
-		VlogSegmentBytes:         o.VlogSegmentBytes,
-		CompactionMaxBytesPerSec: o.CompactionMaxBytesPerSec,
-		Stats:                    o.Stats,
-		TrackLatency:             o.TrackLatency,
-		EventLogSize:             o.EventLogSize,
-		Logf:                     o.Logf,
+		BlockHashIndex:                 o.BlockHashIndex,
+		LearnedIndex:                   o.LearnedIndex,
+		CacheBytes:                     cacheBytes,
+		CachePolicy:                    cachePolicy,
+		PrefetchAfterCompaction:        o.PrefetchAfterCompaction,
+		ValueSeparation:                o.ValueSeparation,
+		ValueThreshold:                 o.ValueThreshold,
+		VlogSegmentBytes:               o.VlogSegmentBytes,
+		CompactionMaxBytesPerSec:       o.CompactionMaxBytesPerSec,
+		CompactionConcurrency:          o.CompactionConcurrency,
+		PendingCompactionSlowdownBytes: o.PendingCompactionSlowdownBytes,
+		Stats:                          o.Stats,
+		TrackLatency:                   o.TrackLatency,
+		EventLogSize:                   o.EventLogSize,
+		Logf:                           o.Logf,
 	}, nil
 }
 
@@ -453,7 +480,9 @@ func (db *DB) Stats() iostat.Snapshot { return db.inner.Stats() }
 type LatencySummary = iostat.LatencySummary
 
 // Latencies returns per-operation latency summaries keyed "get", "put",
-// "delete", "scan". Nil unless Options.TrackLatency is set.
+// "delete", "scan", "batch", plus "stall" for write-stall episodes;
+// zero-count histograms are omitted. Nil unless Options.TrackLatency is
+// set.
 func (db *DB) Latencies() map[string]LatencySummary { return db.inner.Latencies() }
 
 // Event is one recorded engine lifecycle event.
