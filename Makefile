@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race crash bench bench-server bench-stall experiments examples fuzz serve clean cover fmt-check doc-check
+.PHONY: all build test race crash bench bench-server bench-stall bench-shards experiments examples fuzz serve clean cover fmt-check doc-check
 
 all: build test
 
@@ -14,7 +14,7 @@ build:
 test: fmt-check doc-check
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/server/ ./internal/client/
+	$(GO) test -race ./internal/server/ ./internal/client/ ./internal/shard/
 	$(MAKE) crash
 
 # gofmt is the only accepted formatting; -l lists offenders and the grep
@@ -35,9 +35,11 @@ doc-check:
 		if [ $$ok -eq 0 ]; then echo "missing package doc comment: $$d"; fail=1; fi; \
 	done; exit $$fail
 
-# Per-package statement coverage, with a floor on the observability
-# package: the instruments everything else leans on must stay tested.
+# Per-package statement coverage, with floors on the observability and
+# shard-routing packages: the instruments everything else leans on, and
+# the layer that splits the keyspace, must stay tested.
 IOSTAT_COVER_FLOOR = 90
+SHARD_COVER_FLOOR = 85
 cover:
 	$(GO) test -cover ./...
 	@pct=$$($(GO) test -cover ./internal/iostat/ | \
@@ -45,6 +47,11 @@ cover:
 	echo "internal/iostat coverage: $$pct% (floor $(IOSTAT_COVER_FLOOR)%)"; \
 	awk "BEGIN{exit !($$pct >= $(IOSTAT_COVER_FLOOR))}" || \
 		{ echo "internal/iostat coverage below floor"; exit 1; }
+	@pct=$$($(GO) test -cover ./internal/shard/ | \
+		sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
+	echo "internal/shard coverage: $$pct% (floor $(SHARD_COVER_FLOOR)%)"; \
+	awk "BEGIN{exit !($$pct >= $(SHARD_COVER_FLOOR))}" || \
+		{ echo "internal/shard coverage below floor"; exit 1; }
 
 race:
 	$(GO) test -race ./...
@@ -55,6 +62,7 @@ race:
 # invariant against the issued history.
 crash:
 	$(GO) test ./internal/core/ -run 'TestCrash' -count=1 -crash.iters=100
+	$(GO) test ./internal/shard/ -run 'Crash' -count=1 -shardcrash.iters=50
 
 # One testing.B bench per experiment (E1-E14) plus per-package microbenches.
 bench:
@@ -65,6 +73,12 @@ bench:
 # table to bench_results.txt so before/after runs accumulate.
 bench-stall:
 	$(GO) run ./cmd/lsmbench -e E14 | tee -a bench_results.txt
+
+# Keyspace sharding under a saturating multi-writer ingest: aggregate
+# throughput and Put tail at 1/2/4/8 shards (experiment E15). Appends the
+# table to bench_results.txt so before/after runs accumulate.
+bench-shards:
+	$(GO) run ./cmd/lsmbench -e E15 | tee -a bench_results.txt
 
 # Group-commit microbench: coalesced vs per-op-sync committer over the
 # full network stack (see bench_results.txt for a recorded run).
@@ -85,6 +99,7 @@ fuzz:
 	$(GO) test ./internal/sstable/ -fuzz FuzzDecodeBlock -fuzztime 30s
 	$(GO) test ./internal/sstable/ -fuzz FuzzOpenReader -fuzztime 30s
 	$(GO) test ./internal/wal/ -fuzz FuzzWALReplay -fuzztime 30s
+	$(GO) test ./internal/shard/ -fuzz FuzzShardRouting -fuzztime 30s
 	$(GO) test ./internal/server/ -fuzz FuzzDecodeRequest -fuzztime 30s
 	$(GO) test ./internal/server/ -fuzz FuzzDecodeResponse -fuzztime 30s
 

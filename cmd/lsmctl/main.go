@@ -175,6 +175,9 @@ func run(db *lsmkv.DB, args []string) error {
 			return err
 		}
 		s := db.Stats()
+		if n := db.NumShards(); n > 1 {
+			fmt.Printf("shards: %d\n", n)
+		}
 		fmt.Printf("tree:\n%s", db.DebugString())
 		fmt.Printf("runs: %d   index memory: %d KiB\n", db.TotalRuns(), db.IndexMemory()>>10)
 		fmt.Printf("flushes: %d   compactions: %d   write-amp: %.2f\n",
@@ -183,6 +186,14 @@ func run(db *lsmkv.DB, args []string) error {
 			s.PointLookups, s.BlockReadsPerLookup(), s.CacheHitRate())
 		fmt.Printf("filter probes: %d   negatives: %d   false positives: %d\n",
 			s.FilterProbes, s.FilterNegatives, s.FilterFalsePositives)
+		if db.NumShards() > 1 {
+			// Aggregate counters above; the per-shard rows expose skew (one
+			// shard flushing or stalling far ahead of its peers).
+			for i, ss := range db.ShardStats() {
+				fmt.Printf("shard %d: wal records: %d   flushes: %d   compactions: %d   lookups: %d   stalls: %d\n",
+					i, ss.WALRecords, ss.Flushes, ss.Compactions, ss.PointLookups, ss.WriteStalls)
+			}
+		}
 		return nil
 	case "compact":
 		return db.Compact()

@@ -14,10 +14,17 @@
 // Usage:
 //
 //	lsmserver -db /path [-addr :4440] [-metrics :4441] [-preset default]
-//	          [-sync] [-rate 0] [-max-conns 1024]
+//	          [-shards 0] [-sync] [-rate 0] [-max-conns 1024]
 //	          [-compaction-concurrency 2] [-compaction-rate 0]
 //	          [-l0-slowdown 0] [-l0-stop 0]
 //	          [-debug-addr 127.0.0.1:4442] [-track-latency=true]
+//
+// -shards N splits the keyspace across N independent engines (own WAL,
+// memtable, L0, compaction space each); writes group-commit per shard and
+// /metrics gains an engine_shards per-shard breakdown. The default 0
+// adopts whatever the database already is, so restarts never need the
+// flag to match; an existing single-engine database opened with -shards N
+// is migrated in place once.
 package main
 
 import (
@@ -57,6 +64,7 @@ func main() {
 		metricsAddr  = flag.String("metrics", "", "serve /metrics and /healthz on this HTTP address (empty disables)")
 		dir          = flag.String("db", "", "database directory (required)")
 		preset       = flag.String("preset", "default", "default | read | write | balanced | wisckey")
+		shards       = flag.Int("shards", 0, "keyspace shards (0 = adopt the database's existing count)")
 		syncWrites   = flag.Bool("sync", true, "fsync each commit group before acknowledging writes")
 		maxConns     = flag.Int("max-conns", 1024, "maximum concurrent connections")
 		rate         = flag.Float64("rate", 0, "request rate limit per second (0 = unlimited)")
@@ -98,6 +106,7 @@ func main() {
 		os.Exit(2)
 	}
 	opts.Logf = logf
+	opts.Shards = *shards
 	opts.TrackLatency = *trackLatency
 	opts.CompactionConcurrency = *compactConc
 	opts.CompactionMaxBytesPerSec = *compactRate

@@ -1,6 +1,6 @@
 // Package bench implements the experiment harness that regenerates, as
 // printed tables, every performance claim catalogued in DESIGN.md
-// (experiments E1–E14). Each experiment is a self-contained function that
+// (experiments E1–E15). Each experiment is a self-contained function that
 // builds engines in temporary directories, drives them with the workload
 // generators, and prints the same rows the tutorial's claims are stated
 // in — expected I/Os per operation, write amplification, hit rates,
@@ -84,6 +84,8 @@ func Registry() []Experiment {
 			"Pacing compaction output flattens the client-visible read-latency tail during ingest (the SILK/throttling stability result); writer stalls move the other way.", E13},
 		{"E14", "Concurrent compaction workers and write stalls",
 			"Splitting background work across a pool of compaction workers keeps L0 drained while deep merges run: total write-stall time and the Put p999 tail drop versus a single worker.", E14},
+		{"E15", "Keyspace sharding and aggregate write throughput",
+			"Sharding the keyspace across independent engines divides a saturating ingest across per-shard WALs, memtables, and compaction claim spaces: backpressure disengages and aggregate write throughput at 4 shards is at least 2x the single engine's.", E15},
 	}
 }
 

@@ -114,7 +114,9 @@ func Open(opts Options) (*DB, error) {
 	}
 	db.cond = sync.NewCond(&db.mu)
 	db.bgCond = sync.NewCond(&db.mu)
-	if o.TrackLatency {
+	if o.Latencies != nil {
+		db.lat = o.Latencies
+	} else if o.TrackLatency {
 		db.lat = &iostat.OpLatencies{}
 	}
 	if o.EventLogSize >= 0 {

@@ -160,6 +160,11 @@ type Options struct {
 	// Delete, and Scan (read via DB.Latencies). Off by default; the
 	// disabled hot path pays exactly one nil check per operation.
 	TrackLatency bool
+	// Latencies, when non-nil, is the OpLatencies instance the engine
+	// records into (and implies TrackLatency). The shard router shares one
+	// instance across every shard engine so aggregate latency quantiles
+	// come out of a single set of histograms.
+	Latencies *iostat.OpLatencies
 	// EventLogSize bounds the in-memory ring of engine lifecycle events
 	// (flushes, compactions, WAL rotations and recoveries, value-log GC),
 	// read via DB.Events. 0 selects iostat.DefaultEventLogSize; negative

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"strings"
 	"time"
@@ -47,10 +48,13 @@ func (s *Snapshot) Release() {
 	}
 }
 
+// errSnapshotReleased is returned by reads through a released snapshot.
+var errSnapshotReleased = errors.New("lsmkv: snapshot already released")
+
 // Get reads key at the snapshot.
 func (s *Snapshot) Get(key []byte) ([]byte, error) {
 	if s.released {
-		return nil, fmt.Errorf("lsmkv: snapshot already released")
+		return nil, errSnapshotReleased
 	}
 	return s.db.get(key, s.seq, nil)
 }
@@ -58,15 +62,16 @@ func (s *Snapshot) Get(key []byte) ([]byte, error) {
 // Scan iterates the snapshot over [lo, hi]; see DB.Scan.
 func (s *Snapshot) Scan(lo, hi []byte, fn func(key, value []byte) bool) error {
 	if s.released {
-		return fmt.Errorf("lsmkv: snapshot already released")
+		return errSnapshotReleased
 	}
 	return s.db.scan(lo, hi, s.seq, fn)
 }
 
 // Scan calls fn for the newest visible version of every key in [lo, hi]
-// (inclusive bounds), in ascending key order, until fn returns false or
-// the range is exhausted. Range filters screen runs that provably hold no
-// key in the range before any storage access.
+// (inclusive bounds; nil hi scans to the end of the keyspace), in
+// ascending key order, until fn returns false or the range is exhausted.
+// Range filters screen runs that provably hold no key in the range before
+// any storage access.
 func (db *DB) Scan(lo, hi []byte, fn func(key, value []byte) bool) error {
 	if db.lat == nil {
 		return db.scan(lo, hi, kv.MaxSeqNum, fn)
@@ -78,93 +83,20 @@ func (db *DB) Scan(lo, hi []byte, fn func(key, value []byte) bool) error {
 }
 
 func (db *DB) scan(lo, hi []byte, snap kv.SeqNum, fn func(key, value []byte) bool) error {
-	if bytes.Compare(lo, hi) > 0 {
+	if hi != nil && bytes.Compare(lo, hi) > 0 {
 		return nil
 	}
-	db.opts.Stats.RangeLookups.Add(1)
-
-	db.mu.Lock()
-	if db.closed {
-		db.mu.Unlock()
-		return ErrClosed
+	sc, err := db.newScanner(lo, hi, snap)
+	if err != nil {
+		return err
 	}
-	mem := db.mem
-	imms := make([]buffer, len(db.imms))
-	for i, im := range db.imms {
-		imms[i] = im.buf
-	}
-	v := db.current
-	v.ref()
-	db.mu.Unlock()
-	defer v.unref()
-
-	// Youngest sources first: their merge ordinal breaks (impossible)
-	// ties, and more importantly this keeps the reasoning simple.
-	var iters []kv.Iterator
-	iters = append(iters, mem.NewIterator())
-	for i := len(imms) - 1; i >= 0; i-- {
-		iters = append(iters, imms[i].NewIterator())
-	}
-	for _, level := range v.levels {
-		for ri := len(level) - 1; ri >= 0; ri-- {
-			r := level[ri]
-			tables := r.overlaps(lo, hi)
-			if len(tables) == 0 {
-				continue
-			}
-			// Range-filter screening: drop tables that provably hold no
-			// key in [lo, hi].
-			var kept []*tableHandle
-			for _, th := range tables {
-				if th.reader.MayContainRange(lo, hi) {
-					kept = append(kept, th)
-				}
-			}
-			if len(kept) == 0 {
-				continue
-			}
-			iters = append(iters, newRunIter(&run{tables: kept}))
-		}
-	}
-	m := newMergingIter(iters)
-	defer m.Close()
-
-	ok := m.SeekGE(kv.MakeSearchKey(lo, snap))
-	var lastUser []byte
-	haveLast := false
-	for ; ok; ok = m.Next() {
-		ik := m.Key()
-		if bytes.Compare(ik.UserKey, hi) > 0 {
-			break
-		}
-		if !ik.Visible(snap) {
-			continue
-		}
-		if haveLast && bytes.Equal(ik.UserKey, lastUser) {
-			continue // older version of an already-emitted (or deleted) key
-		}
-		lastUser = append(lastUser[:0], ik.UserKey...)
-		haveLast = true
-		if ik.Kind == kv.KindDelete {
-			continue
-		}
-		value := m.Value()
-		if ik.Kind == kv.KindValuePointer {
-			ptr, err := vlog.DecodePointer(value)
-			if err != nil {
-				return err
-			}
-			db.opts.Stats.VlogReads.Add(1)
-			value, err = db.vlog.Get(ptr)
-			if err != nil {
-				return err
-			}
-		}
-		if !fn(append([]byte(nil), ik.UserKey...), append([]byte(nil), value...)) {
+	defer sc.Close()
+	for sc.Next() {
+		if !fn(append([]byte(nil), sc.Key()...), append([]byte(nil), sc.Value()...)) {
 			break
 		}
 	}
-	return m.Error()
+	return sc.Err()
 }
 
 // RunValueLogGC collects one value-log segment, relocating live values by

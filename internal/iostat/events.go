@@ -59,6 +59,10 @@ type Event struct {
 	OutputBytes uint64 `json:"output_bytes,omitempty"`
 	// Detail carries free-form context (compaction reason, WAL number).
 	Detail string `json:"detail,omitempty"`
+	// Shard identifies which shard engine recorded the event in a merged
+	// multi-shard view (set by the shard router; 0 on single-engine rings,
+	// where it is also omitted from JSON).
+	Shard int `json:"shard,omitempty"`
 }
 
 // String renders the event as one log-style line.

@@ -159,6 +159,41 @@ func (s *Stats) Snapshot() Snapshot {
 	}
 }
 
+// Add returns the counter-wise sum s + t. The shard router uses it to
+// aggregate per-shard snapshots into one engine-wide view.
+func (s Snapshot) Add(t Snapshot) Snapshot {
+	return Snapshot{
+		BlockReads:             s.BlockReads + t.BlockReads,
+		BytesRead:              s.BytesRead + t.BytesRead,
+		BlockCacheHits:         s.BlockCacheHits + t.BlockCacheHits,
+		BlockCacheMisses:       s.BlockCacheMisses + t.BlockCacheMisses,
+		FilterProbes:           s.FilterProbes + t.FilterProbes,
+		FilterNegatives:        s.FilterNegatives + t.FilterNegatives,
+		FilterFalsePositives:   s.FilterFalsePositives + t.FilterFalsePositives,
+		RangeFilterProbes:      s.RangeFilterProbes + t.RangeFilterProbes,
+		RangeFilterNegatives:   s.RangeFilterNegatives + t.RangeFilterNegatives,
+		BytesWritten:           s.BytesWritten + t.BytesWritten,
+		BytesFlushed:           s.BytesFlushed + t.BytesFlushed,
+		CompactionBytesRead:    s.CompactionBytesRead + t.CompactionBytesRead,
+		CompactionBytesWritten: s.CompactionBytesWritten + t.CompactionBytesWritten,
+		Compactions:            s.Compactions + t.Compactions,
+		Flushes:                s.Flushes + t.Flushes,
+		TrivialMoves:           s.TrivialMoves + t.TrivialMoves,
+		RunsProbed:             s.RunsProbed + t.RunsProbed,
+		PointLookups:           s.PointLookups + t.PointLookups,
+		RangeLookups:           s.RangeLookups + t.RangeLookups,
+		VlogReads:              s.VlogReads + t.VlogReads,
+		WALRecords:             s.WALRecords + t.WALRecords,
+		WALSyncs:               s.WALSyncs + t.WALSyncs,
+		BatchCommits:           s.BatchCommits + t.BatchCommits,
+		BatchedOps:             s.BatchedOps + t.BatchedOps,
+		WriteStalls:            s.WriteStalls + t.WriteStalls,
+		WriteStallNs:           s.WriteStallNs + t.WriteStallNs,
+		WriteSlowdowns:         s.WriteSlowdowns + t.WriteSlowdowns,
+		WriteSlowdownNs:        s.WriteSlowdownNs + t.WriteSlowdownNs,
+	}
+}
+
 // Sub returns the per-interval delta s - t (counter-wise).
 func (s Snapshot) Sub(t Snapshot) Snapshot {
 	return Snapshot{

@@ -98,6 +98,9 @@ type Trace struct {
 	Runs []RunTrace `json:"runs"`
 	// ElapsedUs is the wall-clock lookup duration.
 	ElapsedUs float64 `json:"elapsed_us"`
+	// Shard is the shard engine that served the lookup (0 unless the
+	// database is sharded; the router stamps it after routing).
+	Shard int `json:"shard,omitempty"`
 }
 
 // NewTrace starts a trace for a lookup of key.

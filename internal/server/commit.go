@@ -4,21 +4,28 @@ import (
 	"lsmkv/internal/core"
 )
 
-// commitReq is one write request (PUT, DELETE, or BATCH) waiting for the
-// group-commit loop. done receives the commit outcome exactly once.
+// commitReq is one write request (PUT, DELETE, or BATCH) — or, against a
+// sharded engine, one shard's slice of it — waiting for a group-commit
+// loop. done receives the commit outcome exactly once.
 type commitReq struct {
 	ops  []core.BatchOp
 	done chan error
 }
 
-// committer is the group-commit loop: a single goroutine drains the
+// committer is one group-commit loop: a single goroutine drains its
 // submission channel, coalescing every write request it can grab (up to
-// maxOps engine ops) into one ApplyBatch call — one WAL record and, when
-// sync is on, one fsync for the whole group. Under load the group grows
-// toward maxOps and the fsync cost amortizes across writers; idle, each
-// write commits alone with no added latency.
+// maxOps engine ops) into one apply call — one WAL record and, when sync
+// is on, one fsync for the whole group. Under load the group grows toward
+// maxOps and the fsync cost amortizes across writers; idle, each write
+// commits alone with no added latency.
+//
+// A single-engine server runs one committer applying through
+// Engine.ApplyBatch; a sharded server runs one per shard, each applying
+// through ApplyShardBatch, so shards group-commit (and fsync)
+// independently — the per-shard WAL is pointless if every shard's commits
+// still funnel through one loop.
 type committer struct {
-	db      Engine
+	apply   func(ops []core.BatchOp, sync bool) error
 	ch      chan *commitReq
 	maxOps  int
 	sync    bool
@@ -26,9 +33,9 @@ type committer struct {
 	done    chan struct{}
 }
 
-func newCommitter(db Engine, maxOps int, sync bool, m *Metrics) *committer {
+func newCommitter(apply func(ops []core.BatchOp, sync bool) error, maxOps int, sync bool, m *Metrics) *committer {
 	return &committer{
-		db:      db,
+		apply:   apply,
 		ch:      make(chan *commitReq, 4096),
 		maxOps:  maxOps,
 		sync:    sync,
@@ -77,7 +84,7 @@ func (c *committer) loop() {
 			}
 		}
 		c.metrics.CommitQueue.Add(int64(-len(reqs)))
-		err := c.db.ApplyBatch(ops, c.sync)
+		err := c.apply(ops, c.sync)
 		c.metrics.observeCommit(len(ops))
 		for _, r := range reqs {
 			r.done <- err

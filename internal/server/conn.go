@@ -41,12 +41,14 @@ type conn struct {
 	draining bool
 }
 
-// pendingWrite tracks one write awaiting its commit group.
+// pendingWrite tracks one write awaiting its commit group — or, for a
+// BATCH spanning shards, awaiting every involved shard's commit group.
+// The ack goes out only after all of them complete; the first error wins.
 type pendingWrite struct {
 	id    uint32
 	op    Opcode
 	start time.Time
-	req   *commitReq
+	reqs  []*commitReq
 }
 
 func newConn(s *Server, nc net.Conn) *conn {
@@ -240,21 +242,51 @@ func (c *conn) handleTrace(req *Request, start time.Time) {
 	c.finishRead(req, start, &resp)
 }
 
-// submitWrite hands ops to the group committer and queues the ack. Both
+// submitWrite routes ops to their group committer(s) and queues the ack.
+// Against a sharded engine, point writes go to the owning shard's
+// committer and a BATCH is split into per-shard sub-batches, each
+// submitted to its shard's committer; the ack waits for all of them. All
 // channels apply backpressure by blocking the read loop when full.
 func (c *conn) submitWrite(req *Request, start time.Time, ops []core.BatchOp) {
 	if len(ops) == 0 {
 		c.finishRead(req, start, &Response{ID: req.ID, Status: StatusOK})
 		return
 	}
-	cr := &commitReq{ops: ops, done: make(chan error, 1)}
-	c.srv.committer.submit(cr)
-	c.acks <- &pendingWrite{id: req.ID, op: req.Op, start: start, req: cr}
+	pw := &pendingWrite{id: req.ID, op: req.Op, start: start}
+	if se := c.srv.sharded; se == nil {
+		cr := &commitReq{ops: ops, done: make(chan error, 1)}
+		c.srv.committers[0].submit(cr)
+		pw.reqs = append(pw.reqs, cr)
+	} else if len(ops) == 1 {
+		cr := &commitReq{ops: ops, done: make(chan error, 1)}
+		c.srv.committers[se.ShardOf(ops[0].Key)].submit(cr)
+		pw.reqs = append(pw.reqs, cr)
+	} else {
+		subs := make([][]core.BatchOp, len(c.srv.committers))
+		for _, op := range ops {
+			i := se.ShardOf(op.Key)
+			subs[i] = append(subs[i], op)
+		}
+		for i, sub := range subs {
+			if len(sub) == 0 {
+				continue
+			}
+			cr := &commitReq{ops: sub, done: make(chan error, 1)}
+			c.srv.committers[i].submit(cr)
+			pw.reqs = append(pw.reqs, cr)
+		}
+	}
+	c.acks <- pw
 }
 
 func (c *conn) ackLoop() {
 	for pw := range c.acks {
-		err := <-pw.req.done
+		var err error
+		for _, cr := range pw.reqs {
+			if e := <-cr.done; e != nil && err == nil {
+				err = e
+			}
+		}
 		resp := Response{ID: pw.id, Status: StatusOK}
 		if err != nil {
 			resp = errResponse(pw.id, err)

@@ -181,12 +181,19 @@ type metricsPayload struct {
 	// engine's WriteStalls/WriteSlowdowns counters to diagnose
 	// backpressure (see OPERATIONS.md).
 	EngineLatencies map[string]iostat.LatencySummary `json:"engine_latencies,omitempty"`
-	// Events holds both bounded event rings, oldest first.
+	// EngineShards carries each shard's own counter snapshot, indexed by
+	// shard, when the engine is keyspace-sharded (Engine above stays the
+	// aggregate). A skewed shard shows up here as one entry's flush and
+	// stall counters running ahead of its peers'.
+	EngineShards []iostat.Snapshot `json:"engine_shards,omitempty"`
+	// Events holds both bounded event rings, oldest first. Against a
+	// sharded engine every engine event carries the shard that recorded
+	// it.
 	Events eventsPayload `json:"events"`
 }
 
 func (s *Server) payload() metricsPayload {
-	return metricsPayload{
+	p := metricsPayload{
 		Server:          s.metrics.Snapshot(),
 		Engine:          s.cfg.DB.Stats(),
 		EngineLatencies: s.cfg.DB.Latencies(),
@@ -195,6 +202,10 @@ func (s *Server) payload() metricsPayload {
 			Engine: s.cfg.DB.Events(),
 		},
 	}
+	if s.sharded != nil {
+		p.EngineShards = s.sharded.ShardStats()
+	}
+	return p
 }
 
 // MetricsHandler returns an HTTP handler exposing /metrics (JSON of

@@ -30,6 +30,25 @@ type Engine interface {
 	Flush() error
 }
 
+// ShardedEngine is the optional upgrade interface a keyspace-sharded
+// engine (the public *lsmkv.DB) exposes. When Config.DB implements it and
+// reports more than one shard, the server routes point writes to
+// per-shard group-commit loops, splits BATCH requests into per-shard
+// sub-batches, and publishes per-shard counter snapshots in /metrics and
+// STATS.
+type ShardedEngine interface {
+	Engine
+	// NumShards returns the engine's shard count.
+	NumShards() int
+	// ShardOf returns the shard index owning key.
+	ShardOf(key []byte) int
+	// ApplyShardBatch applies ops — all owned by shard i — atomically on
+	// that shard.
+	ApplyShardBatch(i int, ops []core.BatchOp, sync bool) error
+	// ShardStats returns each shard's counter snapshot, indexed by shard.
+	ShardStats() []iostat.Snapshot
+}
+
 // Config parameterizes a Server. The zero value of every field except DB
 // selects a sensible default.
 type Config struct {
@@ -107,10 +126,14 @@ func (c Config) withDefaults() (Config, error) {
 // Server serves the KV protocol over TCP. Create with New, start with
 // Serve or ListenAndServe, stop with Shutdown.
 type Server struct {
-	cfg       Config
-	metrics   *Metrics
-	committer *committer
-	bucket    *TokenBucket // nil when unlimited
+	cfg     Config
+	metrics *Metrics
+	// committers hold one group-commit loop per shard (a single one for
+	// unsharded engines); sharded is non-nil when cfg.DB reports more
+	// than one shard, and routes point writes and splits batches.
+	committers []*committer
+	sharded    ShardedEngine // nil for single-shard engines
+	bucket     *TokenBucket  // nil when unlimited
 	// events records serving-layer incidents (sheds, rejected
 	// connections, drain); engine events live in the engine's own ring.
 	events *iostat.EventLog
@@ -135,7 +158,21 @@ func New(cfg Config) (*Server, error) {
 		events:  iostat.NewEventLog(0),
 		conns:   make(map[*conn]struct{}),
 	}
-	s.committer = newCommitter(cfg.DB, cfg.MaxCommitOps, cfg.SyncWrites, s.metrics)
+	if se, ok := cfg.DB.(ShardedEngine); ok && se.NumShards() > 1 {
+		s.sharded = se
+		for i := 0; i < se.NumShards(); i++ {
+			i := i
+			s.committers = append(s.committers, newCommitter(
+				func(ops []core.BatchOp, sync bool) error {
+					return se.ApplyShardBatch(i, ops, sync)
+				},
+				cfg.MaxCommitOps, cfg.SyncWrites, s.metrics))
+		}
+	} else {
+		s.committers = []*committer{
+			newCommitter(cfg.DB.ApplyBatch, cfg.MaxCommitOps, cfg.SyncWrites, s.metrics),
+		}
+	}
 	if cfg.RatePerSec > 0 {
 		s.bucket = NewTokenBucket(cfg.RatePerSec, cfg.Burst)
 	}
@@ -179,7 +216,9 @@ func (s *Server) Serve(ln net.Listener) error {
 	s.ln = ln
 	s.mu.Unlock()
 	if s.started.CompareAndSwap(false, true) {
-		s.committer.start()
+		for _, c := range s.committers {
+			c.start()
+		}
 	}
 	s.cfg.Logf("server: listening on %s", ln.Addr())
 	var acceptDelay time.Duration // backoff for transient accept errors
@@ -284,7 +323,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		<-done
 	}
 	if s.started.Load() {
-		s.committer.stop()
+		for _, c := range s.committers {
+			c.stop()
+		}
 	}
 	if err := s.cfg.DB.Flush(); err != nil && drainErr == nil {
 		drainErr = err

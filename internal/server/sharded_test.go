@@ -1,0 +1,277 @@
+package server_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"lsmkv/internal/client"
+	"lsmkv/internal/core"
+	"lsmkv/internal/iostat"
+	"lsmkv/internal/server"
+	"lsmkv/internal/shard"
+	"lsmkv/internal/vfs"
+)
+
+// startShardedServer serves an n-shard engine on a loopback listener; the
+// server detects the ShardedEngine interface and runs one group-commit
+// loop per shard.
+func startShardedServer(t testing.TB, fs vfs.FS, n int) (*server.Server, *shard.DB) {
+	t.Helper()
+	db, err := shard.Open(core.Options{
+		Dir:           "db",
+		FS:            fs,
+		MemtableBytes: 4 << 20,
+		TrackLatency:  true,
+	}, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{DB: db, SyncWrites: true})
+	if err != nil {
+		db.Close()
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		db.Close()
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		<-serveDone
+		db.Close()
+	})
+	for srv.Addr() == "" {
+		time.Sleep(time.Millisecond)
+	}
+	return srv, db
+}
+
+// TestShardedServerEndToEnd drives the full network path against a
+// 3-shard engine: point writes route to per-shard committers, BATCH
+// frames split across shards and acknowledge only when every sub-batch
+// commits, scans merge the shards back into one ordered stream, and the
+// STATS payload carries the per-shard counter breakdown.
+func TestShardedServerEndToEnd(t *testing.T) {
+	srv, db := startShardedServer(t, vfs.NewMem(), 3)
+	cl := dialTest(t, srv, nil)
+
+	const n = 300
+	key := func(i int) []byte { return []byte(fmt.Sprintf("e2e-%04d", i)) }
+	val := func(i int) []byte { return []byte(fmt.Sprintf("val-%04d", i)) }
+
+	// Point writes land on all three shards.
+	for i := 0; i < n/2; i++ {
+		if err := cl.Put(key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The rest through BATCH frames spanning shards.
+	var ops []client.Op
+	for i := n / 2; i < n; i++ {
+		ops = append(ops, client.PutOp(key(i), val(i)))
+		if len(ops) == 32 {
+			if err := cl.Batch(ops); err != nil {
+				t.Fatal(err)
+			}
+			ops = nil
+		}
+	}
+	if len(ops) > 0 {
+		if err := cl.Batch(ops); err != nil {
+			t.Fatal(err)
+		}
+	}
+	touched := map[int]bool{}
+	for i := 0; i < n; i++ {
+		touched[db.ShardOf(key(i))] = true
+	}
+	if len(touched) != 3 {
+		t.Fatalf("workload touched %d shards, want 3", len(touched))
+	}
+
+	// Reads and deletes round-trip.
+	for i := 0; i < n; i++ {
+		v, err := cl.Get(key(i))
+		if err != nil || string(v) != string(val(i)) {
+			t.Fatalf("get %d: %q, %v", i, v, err)
+		}
+	}
+	if err := cl.Delete(key(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Get(key(0)); err != client.ErrNotFound {
+		t.Fatalf("deleted key: %v", err)
+	}
+
+	// A paginated scan sees the merged, ordered keyspace.
+	var got []string
+	var prev string
+	err := cl.ScanAll([]byte("e2e-"), []byte("e2e-~"), func(k, v []byte) bool {
+		if prev != "" && string(k) <= prev {
+			t.Fatalf("scan out of order: %q then %q", prev, k)
+		}
+		prev = string(k)
+		got = append(got, string(k))
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n-1 {
+		t.Fatalf("scan saw %d keys, want %d", len(got), n-1)
+	}
+
+	// STATS carries the per-shard breakdown, and the shard counters sum
+	// to the aggregate.
+	body, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var payload struct {
+		Engine       iostat.Snapshot   `json:"engine"`
+		EngineShards []iostat.Snapshot `json:"engine_shards"`
+	}
+	if err := json.Unmarshal(body, &payload); err != nil {
+		t.Fatal(err)
+	}
+	if len(payload.EngineShards) != 3 {
+		t.Fatalf("engine_shards has %d entries, want 3: %s", len(payload.EngineShards), body)
+	}
+	var sumWAL int64
+	for _, s := range payload.EngineShards {
+		sumWAL += s.WALRecords
+	}
+	if sumWAL == 0 || sumWAL != payload.Engine.WALRecords {
+		t.Fatalf("per-shard WAL records sum %d, aggregate %d", sumWAL, payload.Engine.WALRecords)
+	}
+}
+
+// TestShardedBatchAtomicPerShard: a BATCH whose ops span shards is split
+// into per-shard sub-batches; the client sees one acknowledgment and
+// every op is visible afterward (the ack waits for all sub-commits).
+func TestShardedBatchAtomicPerShard(t *testing.T) {
+	srv, _ := startShardedServer(t, vfs.NewMem(), 3)
+	cl := dialTest(t, srv, nil)
+
+	var ops []client.Op
+	for i := 0; i < 100; i++ {
+		ops = append(ops, client.PutOp([]byte(fmt.Sprintf("span-%03d", i)), []byte("v")))
+	}
+	ops = append(ops, client.DeleteOp([]byte("span-000")))
+	if err := cl.Batch(ops); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Get([]byte("span-000")); err != client.ErrNotFound {
+		t.Fatalf("trailing delete in spanning batch lost: %v", err)
+	}
+	for i := 1; i < 100; i++ {
+		if _, err := cl.Get([]byte(fmt.Sprintf("span-%03d", i))); err != nil {
+			t.Fatalf("op %d of acknowledged spanning batch missing: %v", i, err)
+		}
+	}
+}
+
+// TestShardedShutdownNoGoroutineLeak: shutting the server down while
+// fan-out SCANs are in flight, then closing the sharded DB, returns the
+// process to its baseline goroutine count — per-shard committers, the
+// merged scan path, and per-shard background workers all drain.
+func TestShardedShutdownNoGoroutineLeak(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	db, err := shard.Open(core.Options{
+		Dir:           "db",
+		FS:            vfs.NewMem(),
+		MemtableBytes: 4 << 20,
+	}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{DB: db, SyncWrites: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+	for srv.Addr() == "" {
+		time.Sleep(time.Millisecond)
+	}
+
+	// Seed enough keys that scans take multiple pages.
+	cl, err := client.Dial(srv.Addr(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ops []client.Op
+	for i := 0; i < 2000; i++ {
+		ops = append(ops, client.PutOp([]byte(fmt.Sprintf("leak-%05d", i)), []byte("v")))
+	}
+	if err := cl.Batch(ops); err != nil {
+		t.Fatal(err)
+	}
+
+	// In-flight fan-out scans racing the shutdown.
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			scl, err := client.Dial(srv.Addr(), nil)
+			if err != nil {
+				return
+			}
+			defer scl.Close()
+			for i := 0; i < 50; i++ {
+				// Errors are expected once the drain begins.
+				if err := scl.ScanAll([]byte("leak-"), []byte("leak-~"), func(k, v []byte) bool {
+					return true
+				}); err != nil {
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(10 * time.Millisecond) // let the scans get going
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	<-serveDone
+	wg.Wait()
+	cl.Close()
+	if err := db.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// Goroutines wind down asynchronously; poll with a deadline. Allow a
+	// small slack for runtime/testing helpers that outlive the server.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= baseline+3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak after shutdown: baseline %d, now %d\n%s",
+				baseline, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

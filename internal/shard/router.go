@@ -1,0 +1,32 @@
+package shard
+
+import "hash/fnv"
+
+// Of maps a user key to a shard index in [0, n) using a jump-consistent
+// hash (Lamping & Veach, "A Fast, Minimal Memory, Consistent Hash
+// Algorithm") over the key's 64-bit FNV-1a digest. The function is pure:
+// routing depends only on the key bytes and the shard count, so it is
+// stable across process restarts — a key written before a crash is found
+// in the same shard after recovery. Jump hash also minimizes movement if
+// a database were ever resharded: growing n from M to M+1 remaps only
+// ~1/(M+1) of the keyspace.
+func Of(key []byte, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := fnv.New64a()
+	h.Write(key)
+	return jump(h.Sum64(), n)
+}
+
+// jump is the jump-consistent-hash core: a keyed pseudo-random walk whose
+// last landing below n is the bucket.
+func jump(key uint64, n int) int {
+	var b, j int64 = -1, 0
+	for j < int64(n) {
+		b = j
+		key = key*2862933555777941757 + 1
+		j = int64(float64(b+1) * (float64(int64(1)<<31) / float64((key>>33)+1)))
+	}
+	return int(b)
+}

@@ -1,0 +1,109 @@
+package shard
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// TestOfRangeAndDeterminism: every key maps into [0, n) and the mapping
+// is a pure function of (key, n) — the property WAL recovery depends on.
+func TestOfRangeAndDeterminism(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 8, 16} {
+		for i := 0; i < 1000; i++ {
+			key := []byte(fmt.Sprintf("key-%d", i))
+			s := Of(key, n)
+			if s < 0 || s >= n {
+				t.Fatalf("Of(%q, %d) = %d out of range", key, n, s)
+			}
+			if again := Of(key, n); again != s {
+				t.Fatalf("Of(%q, %d) unstable: %d then %d", key, n, s, again)
+			}
+		}
+	}
+}
+
+// TestOfDegenerateCounts: n <= 1 always routes to shard 0 (including the
+// n=0 that only an internal caller could pass).
+func TestOfDegenerateCounts(t *testing.T) {
+	for _, n := range []int{-1, 0, 1} {
+		if s := Of([]byte("k"), n); s != 0 {
+			t.Fatalf("Of(k, %d) = %d, want 0", n, s)
+		}
+	}
+	if s := Of(nil, 4); s < 0 || s >= 4 {
+		t.Fatalf("Of(nil, 4) = %d out of range", s)
+	}
+}
+
+// TestOfDistribution: hashing must spread a skewless key population
+// roughly evenly — no shard may be starved or doubly loaded beyond 20%
+// relative error at 100k keys.
+func TestOfDistribution(t *testing.T) {
+	const keys = 100000
+	for _, n := range []int{2, 4, 8} {
+		counts := make([]int, n)
+		for i := 0; i < keys; i++ {
+			counts[Of([]byte(fmt.Sprintf("user:%08d", i)), n)]++
+		}
+		want := float64(keys) / float64(n)
+		for s, c := range counts {
+			if math.Abs(float64(c)-want) > 0.2*want {
+				t.Fatalf("n=%d shard %d holds %d keys, want ~%.0f (counts %v)", n, s, c, want, counts)
+			}
+		}
+	}
+}
+
+// TestJumpConsistency: growing the shard count from n to n+1 must move
+// only ~1/(n+1) of the keys — the jump-hash property that makes the
+// router future-proof for resharding.
+func TestJumpConsistency(t *testing.T) {
+	const keys = 20000
+	for _, n := range []int{2, 4, 8} {
+		moved := 0
+		for i := 0; i < keys; i++ {
+			key := []byte(fmt.Sprintf("key-%d", i))
+			if Of(key, n) != Of(key, n+1) {
+				moved++
+			}
+		}
+		want := float64(keys) / float64(n+1)
+		if float64(moved) > 1.5*want {
+			t.Fatalf("growing %d->%d moved %d keys, want ~%.0f", n, n+1, moved, want)
+		}
+		if moved == 0 {
+			t.Fatalf("growing %d->%d moved no keys", n, n+1)
+		}
+	}
+}
+
+// FuzzShardRouting: for arbitrary key bytes and any supported shard
+// count, routing is in range, deterministic (stable across "opens" — the
+// function has no hidden state), and assigns every key to exactly one
+// shard.
+func FuzzShardRouting(f *testing.F) {
+	f.Add([]byte("hello"), uint8(4))
+	f.Add([]byte{}, uint8(1))
+	f.Add([]byte{0x00, 0xff, 0x00}, uint8(16))
+	f.Add([]byte("a-rather-long-key-with-repetition-repetition"), uint8(3))
+	f.Fuzz(func(t *testing.T, key []byte, nRaw uint8) {
+		n := int(nRaw%16) + 1
+		s := Of(key, n)
+		if s < 0 || s >= n {
+			t.Fatalf("Of(%q, %d) = %d out of range", key, n, s)
+		}
+		if again := Of(key, n); again != s {
+			t.Fatalf("Of(%q, %d) unstable: %d then %d", key, n, s, again)
+		}
+		owners := 0
+		for i := 0; i < n; i++ {
+			if Of(key, n) == i {
+				owners++
+			}
+		}
+		if owners != 1 {
+			t.Fatalf("key %q owned by %d shards of %d", key, owners, n)
+		}
+	})
+}

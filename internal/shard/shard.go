@@ -1,0 +1,668 @@
+// Package shard implements keyspace sharding: a DB that routes operations
+// across N independent core engines, each owning its own WAL, memtable,
+// level 0, manifest, and compaction claim space. Sharding multiplies the
+// engine's serial bottlenecks — the single WAL appender, the single
+// memtable mutex, the single flush worker — by partitioning the keyspace
+// with a stable hash (see Of), at the cost of scans having to merge N
+// ordered streams and of batch atomicity holding per shard rather than
+// globally.
+//
+// On disk a sharded database is a directory holding a SHARDS marker file
+// and one engine directory per shard (shard-0 ... shard-N-1). A
+// single-shard database (the default) is byte-for-byte the classic
+// single-engine layout with no marker, so Shards=1 databases are fully
+// interchangeable with databases created before sharding existed. Opening
+// an existing single-engine database with Shards=N>1 performs a one-shot
+// migration that streams every live key into the new shard engines; the
+// durable SHARDS marker is the commit point, so a crash mid-migration
+// restarts it from the untouched single-engine files. Changing the shard
+// count of an already-sharded database is not supported.
+package shard
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"lsmkv/internal/core"
+	"lsmkv/internal/iostat"
+	"lsmkv/internal/vfs"
+)
+
+const (
+	// markerName is the root-directory file recording the shard count.
+	// Its presence is what makes a directory a sharded database.
+	markerName = "SHARDS"
+	// markerMagic guards against misreading an unrelated file.
+	markerMagic = "lsmkv-shards-v1"
+	// dirPrefix names per-shard engine directories: shard-0, shard-1, ...
+	dirPrefix = "shard-"
+)
+
+// DB routes operations across n independent core engines. Point
+// operations go to the shard owning the key; scans merge all shards;
+// batches are split into per-shard sub-batches applied in parallel.
+type DB struct {
+	dir     string
+	fs      vfs.FS
+	n       int
+	engines []*core.DB
+	// stats holds the per-shard accounting handles. With n==1 the single
+	// engine keeps whatever handle the caller configured (so shared-stats
+	// callers still observe it); with n>1 every shard gets a private
+	// handle and aggregate views sum them.
+	stats []*iostat.Stats
+	// lat is the latency histogram set shared by every shard engine, so
+	// aggregate quantiles come out of one set of histograms. Nil when
+	// latency tracking is off.
+	lat *iostat.OpLatencies
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Open opens (creating if necessary) a database at opts.Dir with the
+// given shard count. shards semantics:
+//
+//   - 0 adopts the database's existing shard count (1 for a fresh or
+//     classic single-engine directory) — what servers should pass so
+//     restarts never depend on matching a flag to the data.
+//   - 1 is the classic single-engine layout, byte-for-byte.
+//   - N>1 opens or creates N engines under shard-<i>/ subdirectories,
+//     migrating a classic single-engine database in place first.
+//
+// Opening an already-sharded database with a different non-zero count
+// fails: resharding is not supported.
+func Open(opts core.Options, shards int) (*DB, error) {
+	if shards < 0 {
+		return nil, fmt.Errorf("shard: negative shard count %d", shards)
+	}
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("shard: Options.Dir is required")
+	}
+	fs := opts.FS
+	if fs == nil {
+		fs = vfs.Default
+	}
+	opts.FS = fs
+	if err := fs.MkdirAll(opts.Dir); err != nil {
+		return nil, err
+	}
+
+	recorded, err := readMarker(fs, opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	n := shards
+	if recorded > 0 {
+		if n == 0 {
+			n = recorded
+		}
+		if n != recorded {
+			return nil, fmt.Errorf("shard: database at %s has %d shards; resharding to %d is not supported",
+				opts.Dir, recorded, n)
+		}
+	} else {
+		if n == 0 {
+			n = 1
+		}
+		if n > 1 {
+			single, err := hasEngineFiles(fs, opts.Dir)
+			if err != nil {
+				return nil, err
+			}
+			if single {
+				if err := migrate(opts, fs, n); err != nil {
+					return nil, fmt.Errorf("shard: migrating %s to %d shards: %w", opts.Dir, n, err)
+				}
+			} else if err := writeMarker(fs, opts.Dir, n); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	db := &DB{dir: opts.Dir, fs: fs, n: n}
+	if n == 1 {
+		eng, err := core.Open(opts)
+		if err != nil {
+			return nil, err
+		}
+		db.engines = []*core.DB{eng}
+		db.stats = []*iostat.Stats{eng.StatsHandle()}
+		return db, nil
+	}
+
+	// A crash between the migration's marker write and its root-file sweep
+	// leaves stale single-engine files beside the marker; clear them now.
+	if err := sweepRootEngineFiles(fs, opts.Dir); err != nil {
+		return nil, err
+	}
+	db.lat = opts.Latencies
+	if db.lat == nil && opts.TrackLatency {
+		db.lat = &iostat.OpLatencies{}
+	}
+	db.engines = make([]*core.DB, n)
+	db.stats = make([]*iostat.Stats, n)
+	for i := 0; i < n; i++ {
+		db.stats[i] = &iostat.Stats{}
+		eng, err := core.Open(db.shardOpts(opts, i))
+		if err != nil {
+			for j := 0; j < i; j++ {
+				db.engines[j].Close()
+			}
+			return nil, fmt.Errorf("shard: opening shard %d: %w", i, err)
+		}
+		db.engines[i] = eng
+	}
+	return db, nil
+}
+
+// shardOpts derives shard i's engine options from the caller's: same
+// design point, private directory and stats handle, shared latency
+// histograms, and a log prefix identifying the shard.
+func (db *DB) shardOpts(base core.Options, i int) core.Options {
+	o := base
+	o.Dir = ShardDir(base.Dir, i)
+	o.FS = db.fs
+	o.Stats = db.stats[i]
+	o.Latencies = db.lat
+	if base.Logf != nil {
+		logf := base.Logf
+		o.Logf = func(format string, args ...any) {
+			logf("shard %d: "+format, append([]any{i}, args...)...)
+		}
+	}
+	return o
+}
+
+// ShardDir returns the directory shard i of a database rooted at dir
+// lives in.
+func ShardDir(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%d", dirPrefix, i))
+}
+
+// NumShards returns the shard count.
+func (db *DB) NumShards() int { return db.n }
+
+// ShardOf returns the shard index owning key.
+func (db *DB) ShardOf(key []byte) int { return Of(key, db.n) }
+
+// Engine returns shard i's underlying engine (test and tooling access).
+func (db *DB) Engine(i int) *core.DB { return db.engines[i] }
+
+// Get returns the value for key, routed to the owning shard.
+func (db *DB) Get(key []byte) ([]byte, error) {
+	return db.engines[Of(key, db.n)].Get(key)
+}
+
+// GetTraced is Get with a read-path trace; the trace is stamped with the
+// shard that served it.
+func (db *DB) GetTraced(key []byte) ([]byte, *iostat.Trace, error) {
+	i := Of(key, db.n)
+	v, tr, err := db.engines[i].GetTraced(key)
+	if tr != nil {
+		tr.Shard = i
+	}
+	return v, tr, err
+}
+
+// Put writes key=value to the owning shard.
+func (db *DB) Put(key, value []byte) error {
+	return db.engines[Of(key, db.n)].Put(key, value)
+}
+
+// Delete writes a tombstone for key to the owning shard.
+func (db *DB) Delete(key []byte) error {
+	return db.engines[Of(key, db.n)].Delete(key)
+}
+
+// ApplyBatch splits ops by owning shard and applies the sub-batches in
+// parallel, preserving the caller's op order within each shard. Each
+// sub-batch is atomic and durable per shard (one WAL record per shard); a
+// batch spanning shards is NOT atomic across them — a crash can persist
+// some shards' sub-batches and not others'.
+func (db *DB) ApplyBatch(ops []core.BatchOp, syncWAL bool) error {
+	if db.n == 1 {
+		return db.engines[0].ApplyBatch(ops, syncWAL)
+	}
+	subs := SplitBatch(ops, db.n)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for i, sub := range subs {
+		if len(sub) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, sub []core.BatchOp) {
+			defer wg.Done()
+			if err := db.engines[i].ApplyBatch(sub, syncWAL); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(i, sub)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// ApplyShardBatch applies ops directly to shard i. Every op must belong
+// to shard i by routing; callers (the server's per-shard group-commit
+// workers) are expected to have split with SplitBatch or routed with
+// ShardOf.
+func (db *DB) ApplyShardBatch(i int, ops []core.BatchOp, syncWAL bool) error {
+	if i < 0 || i >= db.n {
+		return fmt.Errorf("shard: index %d out of range [0,%d)", i, db.n)
+	}
+	return db.engines[i].ApplyBatch(ops, syncWAL)
+}
+
+// SplitBatch partitions ops into n per-shard sub-batches, preserving
+// relative order within each.
+func SplitBatch(ops []core.BatchOp, n int) [][]core.BatchOp {
+	subs := make([][]core.BatchOp, n)
+	if n == 1 {
+		subs[0] = ops
+		return subs
+	}
+	for _, op := range ops {
+		i := Of(op.Key, n)
+		subs[i] = append(subs[i], op)
+	}
+	return subs
+}
+
+// Flush forces every shard's memtable to level 0.
+func (db *DB) Flush() error {
+	for _, eng := range db.engines {
+		if err := eng.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WaitIdle blocks until every shard's background maintenance is quiet.
+func (db *DB) WaitIdle() error {
+	for _, eng := range db.engines {
+		if err := eng.WaitIdle(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunValueLogGC runs one value-log GC attempt per shard, reporting
+// whether any shard collected a segment.
+func (db *DB) RunValueLogGC() (bool, error) {
+	any := false
+	for _, eng := range db.engines {
+		collected, err := eng.RunValueLogGC()
+		if err != nil {
+			return any, err
+		}
+		any = any || collected
+	}
+	return any, nil
+}
+
+// Close closes every shard engine; the first error wins but all engines
+// are closed regardless.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return nil
+	}
+	db.closed = true
+	db.mu.Unlock()
+	var firstErr error
+	for _, eng := range db.engines {
+		if err := eng.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Stats returns the aggregate I/O accounting: the per-shard counters
+// summed.
+func (db *DB) Stats() iostat.Snapshot {
+	agg := db.stats[0].Snapshot()
+	for _, s := range db.stats[1:] {
+		agg = agg.Add(s.Snapshot())
+	}
+	return agg
+}
+
+// ShardStats returns each shard's own counter snapshot, indexed by shard.
+func (db *DB) ShardStats() []iostat.Snapshot {
+	out := make([]iostat.Snapshot, db.n)
+	for i, s := range db.stats {
+		out[i] = s.Snapshot()
+	}
+	return out
+}
+
+// Latencies returns aggregate operation latency summaries. All shards
+// record into one shared histogram set, so these are true aggregate
+// quantiles, not an average of per-shard quantiles.
+func (db *DB) Latencies() map[string]iostat.LatencySummary {
+	if db.n == 1 {
+		return db.engines[0].Latencies()
+	}
+	return db.lat.Summaries()
+}
+
+// Events returns every shard's lifecycle events merged into one
+// time-ordered stream, each event tagged with its shard.
+func (db *DB) Events() []iostat.Event {
+	if db.n == 1 {
+		return db.engines[0].Events()
+	}
+	var all []iostat.Event
+	for i, eng := range db.engines {
+		evs := eng.Events()
+		for j := range evs {
+			evs[j].Shard = i
+		}
+		all = append(all, evs...)
+	}
+	sort.SliceStable(all, func(a, b int) bool { return all[a].Time.Before(all[b].Time) })
+	return all
+}
+
+// Levels returns the per-level structure summed across shards: Runs at
+// level L is the total number of sorted runs any scan of the whole
+// database merges at that depth.
+func (db *DB) Levels() []core.LevelInfo {
+	var out []core.LevelInfo
+	for _, eng := range db.engines {
+		for _, li := range eng.Levels() {
+			for len(out) <= li.Level {
+				out = append(out, core.LevelInfo{Level: len(out)})
+			}
+			o := &out[li.Level]
+			o.Runs += li.Runs
+			o.Files += li.Files
+			o.Bytes += li.Bytes
+			o.Entries += li.Entries
+			o.Tombstones += li.Tombstones
+		}
+	}
+	return out
+}
+
+// TotalRuns returns the total sorted-run count across all shards.
+func (db *DB) TotalRuns() int {
+	n := 0
+	for _, eng := range db.engines {
+		n += eng.TotalRuns()
+	}
+	return n
+}
+
+// IndexMemory returns resident index bytes across all shards.
+func (db *DB) IndexMemory() int {
+	total := 0
+	for _, eng := range db.engines {
+		total += eng.IndexMemory()
+	}
+	return total
+}
+
+// DebugString renders the tree shape; sharded databases get one section
+// per shard.
+func (db *DB) DebugString() string {
+	if db.n == 1 {
+		return db.engines[0].DebugString()
+	}
+	var b strings.Builder
+	for i, eng := range db.engines {
+		fmt.Fprintf(&b, "shard %d:\n", i)
+		for _, line := range strings.Split(strings.TrimRight(eng.DebugString(), "\n"), "\n") {
+			fmt.Fprintf(&b, "  %s\n", line)
+		}
+	}
+	return b.String()
+}
+
+// ---- Layout detection, marker, migration ----
+
+// readMarker returns the shard count recorded at dir, or 0 when dir is
+// not a sharded database.
+func readMarker(fs vfs.FS, dir string) (int, error) {
+	data, err := vfs.ReadFile(fs, filepath.Join(dir, markerName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	fields := strings.Fields(string(data))
+	if len(fields) != 2 || fields[0] != markerMagic {
+		return 0, fmt.Errorf("shard: malformed %s marker in %s: %q", markerName, dir, data)
+	}
+	n, err := strconv.Atoi(fields[1])
+	if err != nil || n < 2 {
+		return 0, fmt.Errorf("shard: malformed %s marker in %s: %q", markerName, dir, data)
+	}
+	return n, nil
+}
+
+// writeMarker durably records the shard count: temp file, sync, rename —
+// the marker's appearance is the migration commit point, so it must not
+// be torn.
+func writeMarker(fs vfs.FS, dir string, n int) error {
+	tmp := filepath.Join(dir, markerName+".tmp")
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(f, "%s %d\n", markerMagic, n); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return fs.Rename(tmp, filepath.Join(dir, markerName))
+}
+
+// isEngineFile reports whether name is a file the single-engine layout
+// places in the database root.
+func isEngineFile(name string) bool {
+	if name == "MANIFEST" || strings.HasPrefix(name, "MANIFEST.") {
+		return true
+	}
+	switch {
+	case strings.HasSuffix(name, ".sst"), strings.HasSuffix(name, ".wal"), strings.HasSuffix(name, ".vlog"):
+		return true
+	}
+	return false
+}
+
+// hasEngineFiles reports whether dir holds classic single-engine data
+// that would need migrating before sharding.
+func hasEngineFiles(fs vfs.FS, dir string) (bool, error) {
+	names, err := fs.List(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return false, nil
+		}
+		return false, err
+	}
+	for _, name := range names {
+		if isEngineFile(name) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// sweepRootEngineFiles removes stale single-engine files from a sharded
+// database's root (left behind if a crash hit between the migration's
+// marker write and its cleanup).
+func sweepRootEngineFiles(fs vfs.FS, dir string) error {
+	names, err := fs.List(dir)
+	if err != nil {
+		return err
+	}
+	for _, name := range names {
+		if isEngineFile(name) {
+			if err := fs.Remove(filepath.Join(dir, name)); err != nil && !os.IsNotExist(err) {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// removeTree deletes every file under dir recursively (directory entries
+// themselves may remain — vfs has no rmdir — which is harmless).
+func removeTree(fs vfs.FS, dir string) error {
+	names, err := fs.List(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	for _, name := range names {
+		p := filepath.Join(dir, name)
+		fi, err := fs.Stat(p)
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			return err
+		}
+		if fi.IsDir() {
+			if err := removeTree(fs, p); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := fs.Remove(p); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+	return nil
+}
+
+// migrationBatchOps bounds the per-shard batch size the migration
+// accumulates before applying.
+const migrationBatchOps = 512
+
+// migrate converts a classic single-engine database at opts.Dir into n
+// shards: stream every live key out of the old engine into fresh shard
+// engines, durably write the SHARDS marker (the commit point), then sweep
+// the old engine's files. A crash before the marker leaves the old engine
+// untouched (partial shard directories are cleared and the migration
+// restarts); a crash after it leaves stale root files that every sharded
+// open sweeps.
+func migrate(opts core.Options, fs vfs.FS, n int) error {
+	// Clear leftovers from a previously interrupted migration.
+	for i := 0; i < n; i++ {
+		if err := removeTree(fs, ShardDir(opts.Dir, i)); err != nil {
+			return err
+		}
+	}
+
+	src, err := core.Open(opts)
+	if err != nil {
+		return err
+	}
+	defer src.Close()
+
+	// The shard engines live only for the copy: no WAL (a crash restarts
+	// the migration from the source engine anyway; durability comes from
+	// the flush-on-close), no latency tracking, private stats.
+	engines := make([]*core.DB, n)
+	defer func() {
+		for _, eng := range engines {
+			if eng != nil {
+				eng.Close()
+			}
+		}
+	}()
+	for i := 0; i < n; i++ {
+		o := opts
+		o.Dir = ShardDir(opts.Dir, i)
+		o.FS = fs
+		o.DisableWAL = true
+		o.Stats = &iostat.Stats{}
+		o.TrackLatency = false
+		o.Latencies = nil
+		engines[i], err = core.Open(o)
+		if err != nil {
+			return err
+		}
+	}
+
+	sc, err := src.NewScanner(nil, nil)
+	if err != nil {
+		return err
+	}
+	defer sc.Close()
+	pending := make([][]core.BatchOp, n)
+	flush := func(i int) error {
+		if len(pending[i]) == 0 {
+			return nil
+		}
+		err := engines[i].ApplyBatch(pending[i], false)
+		pending[i] = pending[i][:0]
+		return err
+	}
+	for sc.Next() {
+		i := Of(sc.Key(), n)
+		pending[i] = append(pending[i], core.PutOp(
+			append([]byte(nil), sc.Key()...),
+			append([]byte(nil), sc.Value()...)))
+		if len(pending[i]) >= migrationBatchOps {
+			if err := flush(i); err != nil {
+				return err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		if err := flush(i); err != nil {
+			return err
+		}
+	}
+	// Clean close flushes each shard's memtable into durable tables.
+	for i, eng := range engines {
+		engines[i] = nil
+		if err := eng.Close(); err != nil {
+			return err
+		}
+	}
+	if err := sc.Close(); err != nil {
+		return err
+	}
+	if err := src.Close(); err != nil {
+		return err
+	}
+
+	// Commit point: from here on the directory IS a sharded database.
+	if err := writeMarker(fs, opts.Dir, n); err != nil {
+		return err
+	}
+	return sweepRootEngineFiles(fs, opts.Dir)
+}

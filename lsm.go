@@ -28,6 +28,7 @@ import (
 	"lsmkv/internal/filter"
 	"lsmkv/internal/iostat"
 	"lsmkv/internal/rangefilter"
+	"lsmkv/internal/shard"
 	"lsmkv/internal/sstable"
 )
 
@@ -120,6 +121,17 @@ type Options struct {
 	DisableWAL bool
 	// SyncWAL fsyncs on every write.
 	SyncWAL bool
+
+	// Shards splits the keyspace across this many independent engines,
+	// each with its own WAL, memtable, level 0, manifest, and compaction
+	// claim space; point operations route by a stable hash of the key,
+	// scans merge all shards, and batches commit atomically per shard
+	// (not across shards). 0 adopts whatever the directory already is
+	// (1 for a fresh database); 1 is the classic single-engine layout,
+	// byte-for-byte. Opening a single-engine database with Shards=N>1
+	// migrates it in place once; changing the count of an already-sharded
+	// database is an error. See DESIGN.md's Sharding section.
+	Shards int
 
 	// PartialCompaction moves one file at a time (leveled layout only).
 	PartialCompaction bool
@@ -378,17 +390,18 @@ func (o *Options) toCore(dir string) (core.Options, error) {
 
 // DB is a handle to an open database. It is safe for concurrent use.
 type DB struct {
-	inner *core.DB
+	inner *shard.DB
 }
 
 // Open creates or reopens the database at dir with the given design.
 // A nil opts selects Default().
 func Open(dir string, opts *Options) (*DB, error) {
-	copts, err := optsOrDefault(opts).toCore(dir)
+	o := optsOrDefault(opts)
+	copts, err := o.toCore(dir)
 	if err != nil {
 		return nil, err
 	}
-	inner, err := core.Open(copts)
+	inner, err := shard.Open(copts, o.Shards)
 	if err != nil {
 		return nil, err
 	}
@@ -430,13 +443,33 @@ func PutOp(key, value []byte) BatchOp { return core.PutOp(key, value) }
 // DeleteOp builds a tombstone operation for ApplyBatch.
 func DeleteOp(key []byte) BatchOp { return core.DeleteOp(key) }
 
-// ApplyBatch applies ops atomically under one WAL record; when sync is
-// true a single fsync makes the whole batch durable before returning.
-// This is the group-commit primitive the network server coalesces
-// concurrent writers onto.
+// ApplyBatch applies ops atomically under one WAL record per shard; when
+// sync is true an fsync per touched shard makes the batch durable before
+// returning. This is the group-commit primitive the network server
+// coalesces concurrent writers onto. With Shards > 1 atomicity holds per
+// shard, not across shards: a crash can persist some shards' portions of
+// a spanning batch and not others'.
 func (db *DB) ApplyBatch(ops []BatchOp, sync bool) error {
 	return db.inner.ApplyBatch(ops, sync)
 }
+
+// NumShards returns the open database's shard count (1 unless sharding
+// was configured).
+func (db *DB) NumShards() int { return db.inner.NumShards() }
+
+// ShardOf returns the index of the shard that owns key.
+func (db *DB) ShardOf(key []byte) int { return db.inner.ShardOf(key) }
+
+// ApplyShardBatch applies ops — all of which must route to shard i — as
+// one atomic, optionally synced batch on that shard. It is the per-shard
+// group-commit primitive; most callers want ApplyBatch.
+func (db *DB) ApplyShardBatch(i int, ops []BatchOp, sync bool) error {
+	return db.inner.ApplyShardBatch(i, ops, sync)
+}
+
+// ShardStats returns each shard's own I/O counter snapshot, indexed by
+// shard. With one shard it is Stats in a one-element slice.
+func (db *DB) ShardStats() []iostat.Snapshot { return db.inner.ShardStats() }
 
 // Scan calls fn for every key in [lo, hi] (inclusive), ascending, until
 // fn returns false.
@@ -444,8 +477,10 @@ func (db *DB) Scan(lo, hi []byte, fn func(key, value []byte) bool) error {
 	return db.inner.Scan(lo, hi, fn)
 }
 
-// Snapshot pins a consistent point-in-time view.
-type Snapshot struct{ inner *core.Snapshot }
+// Snapshot pins a consistent point-in-time view. With Shards > 1 the
+// view is one snapshot per shard: consistent within each shard, but not
+// an atomic cut across shards.
+type Snapshot struct{ inner *shard.Snapshot }
 
 // NewSnapshot captures the current state; callers must Release it.
 func (db *DB) NewSnapshot() *Snapshot {
