@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race crash bench bench-server bench-stall bench-shards experiments examples fuzz serve clean cover fmt-check doc-check
+.PHONY: all build test race crash bench bench-server bench-stall bench-shards bench-replica experiments examples fuzz serve clean cover fmt-check doc-check
 
 all: build test
 
@@ -35,11 +35,13 @@ doc-check:
 		if [ $$ok -eq 0 ]; then echo "missing package doc comment: $$d"; fail=1; fi; \
 	done; exit $$fail
 
-# Per-package statement coverage, with floors on the observability and
-# shard-routing packages: the instruments everything else leans on, and
-# the layer that splits the keyspace, must stay tested.
+# Per-package statement coverage, with floors on the observability,
+# shard-routing, and replication packages: the instruments everything
+# else leans on, the layer that splits the keyspace, and the subsystem
+# that ships data off the box must stay tested.
 IOSTAT_COVER_FLOOR = 90
 SHARD_COVER_FLOOR = 85
+REPLICA_COVER_FLOOR = 85
 cover:
 	$(GO) test -cover ./...
 	@pct=$$($(GO) test -cover ./internal/iostat/ | \
@@ -52,6 +54,11 @@ cover:
 	echo "internal/shard coverage: $$pct% (floor $(SHARD_COVER_FLOOR)%)"; \
 	awk "BEGIN{exit !($$pct >= $(SHARD_COVER_FLOOR))}" || \
 		{ echo "internal/shard coverage below floor"; exit 1; }
+	@pct=$$($(GO) test -cover ./internal/replica/ | \
+		sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
+	echo "internal/replica coverage: $$pct% (floor $(REPLICA_COVER_FLOOR)%)"; \
+	awk "BEGIN{exit !($$pct >= $(REPLICA_COVER_FLOOR))}" || \
+		{ echo "internal/replica coverage below floor"; exit 1; }
 
 race:
 	$(GO) test -race ./...
@@ -80,6 +87,13 @@ bench-stall:
 bench-shards:
 	$(GO) run ./cmd/lsmbench -e E15 | tee -a bench_results.txt
 
+# Replication & online backup: checkpoint wall time vs database size,
+# steady-state follower lag under sustained ingest, and follower read
+# fan-out (experiment E16). Appends the table to bench_results.txt so
+# before/after runs accumulate.
+bench-replica:
+	$(GO) run ./cmd/lsmbench -e E16 | tee -a bench_results.txt
+
 # Group-commit microbench: coalesced vs per-op-sync committer over the
 # full network stack (see bench_results.txt for a recorded run).
 bench-server:
@@ -102,6 +116,7 @@ fuzz:
 	$(GO) test ./internal/shard/ -fuzz FuzzShardRouting -fuzztime 30s
 	$(GO) test ./internal/server/ -fuzz FuzzDecodeRequest -fuzztime 30s
 	$(GO) test ./internal/server/ -fuzz FuzzDecodeResponse -fuzztime 30s
+	$(GO) test ./internal/replica/ -fuzz FuzzReplFrame -fuzztime 30s
 
 # Run a server on ./serve-db with metrics, for poking at with lsmctl:
 #   make serve &

@@ -26,6 +26,13 @@
 //	lsmctl -addr host:4440 ping
 //	lsmctl -addr host:4440 fill <n>   # load n entries via BATCH frames
 //
+// Replication and backup (against servers started with -checkpoint-dir
+// or -follow; see OPERATIONS.md):
+//
+//	lsmctl -addr host:4440 checkpoint <name>        # online backup on the server
+//	lsmctl -addr host:4440 replstatus               # watermarks, streams, lag
+//	lsmctl -addr host:4440 verify-replica <peer>    # Merkle-compare two servers
+//
 // Design flags mirror the library presets:
 //
 //	-preset default|read|write|balanced|wisckey
@@ -41,6 +48,7 @@ import (
 
 	"lsmkv"
 	"lsmkv/internal/client"
+	"lsmkv/internal/replica"
 	"lsmkv/internal/workload"
 )
 
@@ -321,6 +329,82 @@ func runRemote(cl *client.Client, args []string) error {
 		}
 		fmt.Println("pong")
 		return nil
+	case "checkpoint":
+		if err := need(1); err != nil {
+			return err
+		}
+		body, err := cl.Checkpoint(rest[0])
+		if err != nil {
+			return err
+		}
+		var m struct {
+			Shards   int      `json:"shards"`
+			LastSeqs []uint64 `json:"last_seqs"`
+			Files    int      `json:"files"`
+			Bytes    int64    `json:"bytes"`
+		}
+		if err := json.Unmarshal(body, &m); err != nil {
+			return fmt.Errorf("decode checkpoint marker: %w", err)
+		}
+		fmt.Printf("checkpoint %q committed: %d shard(s), %d files, %d bytes, seqs %v\n",
+			rest[0], m.Shards, m.Files, m.Bytes, m.LastSeqs)
+		return nil
+	case "replstatus":
+		body, err := cl.Stats()
+		if err != nil {
+			return err
+		}
+		var payload struct {
+			EngineSeqs  []uint64        `json:"engine_seq"`
+			Replication json.RawMessage `json:"replication"`
+			ReplPrimary json.RawMessage `json:"repl_primary"`
+		}
+		if err := json.Unmarshal(body, &payload); err != nil {
+			return fmt.Errorf("decode stats: %w", err)
+		}
+		fmt.Printf("engine_seq: %v\n", payload.EngineSeqs)
+		if payload.ReplPrimary != nil {
+			fmt.Printf("primary: %s\n", payload.ReplPrimary)
+		}
+		if payload.Replication != nil {
+			fmt.Printf("follower: %s\n", payload.Replication)
+		} else {
+			fmt.Println("follower: (not a follower)")
+		}
+		return nil
+	case "verify-replica":
+		// Compare this server's logical content against another server's
+		// at this server's current watermarks: merkle here first (pinning
+		// the vector), then on the peer at the same vector — the peer
+		// (typically a caught-up follower) holds its GETSEQ/snapshot reads
+		// until it has applied that far.
+		if err := need(1); err != nil {
+			return err
+		}
+		mine, err := cl.Merkle(0, nil)
+		if err != nil {
+			return err
+		}
+		peer, err := client.Dial(rest[0], &client.Options{MaxRetries: 2})
+		if err != nil {
+			return fmt.Errorf("dial peer: %w", err)
+		}
+		defer peer.Close()
+		theirs, err := peer.Merkle(mine.Buckets, mine.Seqs)
+		if err != nil {
+			return err
+		}
+		if mine.Root == theirs.Root {
+			fmt.Printf("identical at seqs %v: root %s (%d entries, %d buckets)\n",
+				mine.Seqs, mine.Root, mine.Entries, mine.Buckets)
+			return nil
+		}
+		diff, err := replica.DiffBuckets(mine, theirs)
+		if err != nil {
+			return err
+		}
+		return fmt.Errorf("DIVERGED at seqs %v: %d/%d buckets differ (%v); entries %d vs %d",
+			mine.Seqs, len(diff), mine.Buckets, diff, mine.Entries, theirs.Entries)
 	case "fill":
 		if err := need(1); err != nil {
 			return err
@@ -342,6 +426,6 @@ func runRemote(cl *client.Client, args []string) error {
 		fmt.Printf("loaded %d entries\n", n)
 		return nil
 	default:
-		return fmt.Errorf("unknown remote command %q (put|get|delete|scan|trace|stats|ping|fill)", cmd)
+		return fmt.Errorf("unknown remote command %q (put|get|delete|scan|trace|stats|ping|fill|checkpoint|replstatus|verify-replica)", cmd)
 	}
 }

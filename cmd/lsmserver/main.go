@@ -18,6 +18,8 @@
 //	          [-compaction-concurrency 2] [-compaction-rate 0]
 //	          [-l0-slowdown 0] [-l0-stop 0]
 //	          [-debug-addr 127.0.0.1:4442] [-track-latency=true]
+//	          [-checkpoint-dir /backups] [-follow primary:4440]
+//	          [-repl-backlog 16777216]
 //
 // -shards N splits the keyspace across N independent engines (own WAL,
 // memtable, L0, compaction space each); writes group-commit per shard and
@@ -25,6 +27,17 @@
 // adopts whatever the database already is, so restarts never need the
 // flag to match; an existing single-engine database opened with -shards N
 // is migrated in place once.
+//
+// Replication (see OPERATIONS.md for the runbook): -checkpoint-dir
+// enables the CHECKPOINT opcode, with checkpoints landing in named
+// subdirectories of that root (partial ones from a crashed checkpoint are
+// swept on startup). -follow addr runs this server as a read-only
+// follower of the primary at addr: it streams the primary's WAL, applies
+// it through the normal recovery path, and serves reads — including
+// read-your-writes GETSEQ holds at the coordinates primaries return in
+// write acks. Bootstrap a follower by copying a checkpoint of the primary
+// into -db first. Every server retains a -repl-backlog byte ring of
+// recent commits per shard for serving followers (0 disables serving).
 package main
 
 import (
@@ -41,7 +54,10 @@ import (
 	"time"
 
 	"lsmkv"
+	"lsmkv/internal/checkpoint"
+	"lsmkv/internal/replica"
 	"lsmkv/internal/server"
+	"lsmkv/internal/vfs"
 )
 
 // debugMux builds the private diagnostics mux: pprof and expvar, wired
@@ -76,6 +92,9 @@ func main() {
 		l0Stop       = flag.Int("l0-stop", 0, "L0 run count where writes block (0 = engine default)")
 		debugAddr    = flag.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this private HTTP address (empty disables)")
 		trackLatency = flag.Bool("track-latency", true, "record engine-level latency histograms (one nil check per op when off)")
+		ckptDir      = flag.String("checkpoint-dir", "", "enable the CHECKPOINT opcode, writing online backups under this directory")
+		follow       = flag.String("follow", "", "run as a read-only follower replicating from the primary at this address")
+		replBacklog  = flag.Int64("repl-backlog", 0, "per-shard replication backlog bytes for serving followers (0 = 16 MiB default)")
 		verbose      = flag.Bool("v", false, "log engine and server events")
 	)
 	flag.Parse()
@@ -113,18 +132,56 @@ func main() {
 	opts.L0SlowdownTrigger = *l0Slowdown
 	opts.L0StopTrigger = *l0Stop
 
+	// A crash mid-CHECKPOINT leaves a markerless (partial) directory
+	// under the checkpoint root; sweep them before serving so operators
+	// only ever see committed backups there.
+	if *ckptDir != "" {
+		if swept, err := checkpoint.Sweep(vfs.OS{}, *ckptDir); err != nil {
+			log.Fatalf("lsmserver: sweep %s: %v", *ckptDir, err)
+		} else if len(swept) > 0 {
+			log.Printf("lsmserver: swept %d partial checkpoint(s): %v", len(swept), swept)
+		}
+	}
+
 	db, err := lsmkv.Open(*dir, opts)
 	if err != nil {
 		log.Fatalf("lsmserver: open %s: %v", *dir, err)
 	}
 
+	// Primary-side replication: retain recent commits per shard so
+	// followers can stream them. Cheap when nobody follows — a bounded
+	// ring fed by the commit hook.
+	prim := replica.NewPrimary(replica.PrimaryConfig{
+		Shards:       db.NumShards(),
+		LastSeqs:     db.LastSeqs,
+		BacklogBytes: *replBacklog,
+	})
+	db.SetCommitHook(func(shard int, firstSeq uint64, count int, payload []byte) {
+		prim.OnCommit(shard, firstSeq, count, payload)
+	})
+
+	var fol *replica.Follower
+	if *follow != "" {
+		fol = replica.NewFollower(replica.FollowerConfig{
+			Addr: *follow,
+			DB:   db,
+			Logf: log.Printf,
+		})
+		fol.Start()
+		log.Printf("lsmserver: following %s (read-only)", *follow)
+	}
+
 	srv, err := server.New(server.Config{
-		DB:         db,
-		MaxConns:   *maxConns,
-		RatePerSec: *rate,
-		Burst:      *burst,
-		SyncWrites: *syncWrites,
-		Logf:       log.Printf,
+		DB:            db,
+		MaxConns:      *maxConns,
+		RatePerSec:    *rate,
+		Burst:         *burst,
+		SyncWrites:    *syncWrites,
+		Repl:          prim,
+		Follower:      fol,
+		ReadOnly:      *follow != "",
+		CheckpointDir: *ckptDir,
+		Logf:          log.Printf,
 	})
 	if err != nil {
 		log.Fatalf("lsmserver: %v", err)
@@ -183,6 +240,14 @@ func main() {
 	if debugSrv != nil {
 		debugSrv.Close()
 	}
+	// Stop replication before the engine closes: the follower loop must
+	// not apply into a closing database, and the shipper must stop
+	// accepting streams.
+	if fol != nil {
+		fol.Stop()
+	}
+	prim.Close()
+	db.SetCommitHook(nil)
 	if err := db.Close(); err != nil {
 		log.Fatalf("lsmserver: close: %v", err)
 	}

@@ -1,0 +1,138 @@
+package checkpoint
+
+import (
+	"errors"
+	"testing"
+
+	"lsmkv/internal/vfs"
+)
+
+func TestMarkerRoundTrip(t *testing.T) {
+	fs := vfs.NewMem()
+	if err := fs.MkdirAll("ck"); err != nil {
+		t.Fatal(err)
+	}
+	in := Marker{Shards: 3, LastSeqs: []uint64{7, 0, 42}, Files: 9, Bytes: 12345}
+	if err := WriteMarker(fs, "ck", in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadMarker(fs, "ck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Shards != 3 || out.Files != 9 || out.Bytes != 12345 || len(out.LastSeqs) != 3 || out.LastSeqs[2] != 42 {
+		t.Fatalf("marker round trip: %+v", out)
+	}
+	if !IsComplete(fs, "ck") {
+		t.Fatal("marked directory not reported complete")
+	}
+}
+
+func TestMarkerMissingOrMalformed(t *testing.T) {
+	fs := vfs.NewMem()
+	if err := fs.MkdirAll("ck"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadMarker(fs, "ck"); !errors.Is(err, ErrIncomplete) {
+		t.Fatalf("missing marker: got %v, want ErrIncomplete", err)
+	}
+	// A half-written (torn) marker is as good as no marker.
+	f, err := fs.Create("ck/" + MarkerName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte(`{"magic":"lsmkv-chec`))
+	f.Close()
+	if IsComplete(fs, "ck") {
+		t.Fatal("torn marker reported complete")
+	}
+}
+
+func TestSweep(t *testing.T) {
+	fs := vfs.NewMem()
+	// complete: marker present; partial: files but no marker; stray file
+	// at the root must be left alone.
+	for _, d := range []string{"root/complete", "root/partial"} {
+		if err := fs.MkdirAll(d); err != nil {
+			t.Fatal(err)
+		}
+		f, err := fs.Create(d + "/000001.sst")
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Write([]byte("data"))
+		f.Close()
+	}
+	if err := WriteMarker(fs, "root/complete", Marker{Shards: 1}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Create("root/notes.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	cleared, err := Sweep(fs, "root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cleared) != 1 || cleared[0] != "partial" {
+		t.Fatalf("swept %v, want [partial]", cleared)
+	}
+	if !IsComplete(fs, "root/complete") {
+		t.Fatal("sweep damaged the complete checkpoint")
+	}
+	if _, err := fs.Stat("root/partial/000001.sst"); err == nil {
+		t.Fatal("partial checkpoint's files survived the sweep")
+	}
+	if _, err := fs.Stat("root/notes.txt"); err != nil {
+		t.Fatal("sweep removed a stray root file")
+	}
+	// Sweeping a missing root is a no-op.
+	if _, err := Sweep(fs, "absent"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinkOrCopy(t *testing.T) {
+	// Mem has no hard links: the copy fallback must kick in.
+	fs := vfs.NewMem()
+	f, err := fs.Create("src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("hello world"))
+	f.Close()
+	n, linked, err := LinkOrCopy(fs, "src", "dst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if linked {
+		t.Fatal("Mem reported a hard link")
+	}
+	if n != 11 {
+		t.Fatalf("copied %d bytes, want 11", n)
+	}
+	data, err := vfs.ReadFile(fs, "dst")
+	if err != nil || string(data) != "hello world" {
+		t.Fatalf("copy content %q err %v", data, err)
+	}
+
+	// Faulty over OS supports links; an injected link fault degrades to
+	// the copy path instead of failing the checkpoint.
+	dir := t.TempDir()
+	osfs := vfs.NewFaulty(vfs.OS{})
+	g, err := osfs.Create(dir + "/src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Write([]byte("abc"))
+	g.Close()
+	if _, linked, err := LinkOrCopy(osfs, dir+"/src", dir+"/dst1"); err != nil || !linked {
+		t.Fatalf("os link: linked=%v err=%v", linked, err)
+	}
+	osfs.Inject(vfs.Rule{Op: vfs.OpLink, Path: "dst2"})
+	if _, linked, err := LinkOrCopy(osfs, dir+"/src", dir+"/dst2"); err != nil || linked {
+		t.Fatalf("faulted link must fall back to copy: linked=%v err=%v", linked, err)
+	}
+}

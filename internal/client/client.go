@@ -23,6 +23,7 @@ import (
 
 	"lsmkv/internal/core"
 	"lsmkv/internal/iostat"
+	"lsmkv/internal/replica"
 	"lsmkv/internal/server"
 )
 
@@ -225,6 +226,73 @@ func (c *Client) Trace(key []byte) (*iostat.Trace, error) {
 func (c *Client) Ping() error {
 	_, err := c.call(&server.Request{Op: server.OpPing}, false)
 	return err
+}
+
+// ShardSeq is a write acknowledgment's read-your-writes coordinate: the
+// shard that applied the write and its sequence watermark afterwards.
+// Pass it to GetAtSeq on any replica of the same database.
+type ShardSeq = server.ShardSeq
+
+// PutSeq stores key -> value and returns the write's (shard, seq)
+// coordinate (nil against servers without sequence watermarks).
+func (c *Client) PutSeq(key, value []byte) ([]ShardSeq, error) {
+	resp, err := c.call(&server.Request{Op: server.OpPut, Key: key, Value: value}, false)
+	if err != nil {
+		return nil, err
+	}
+	return server.DecodeSeqAcks(resp.Value)
+}
+
+// BatchSeq applies ops like Batch and returns one coordinate per shard
+// the batch touched.
+func (c *Client) BatchSeq(ops []Op) ([]ShardSeq, error) {
+	resp, err := c.call(&server.Request{Op: server.OpBatch, Ops: ops}, false)
+	if err != nil {
+		return nil, err
+	}
+	return server.DecodeSeqAcks(resp.Value)
+}
+
+// GetAtSeq is the read-your-writes read: the server holds the request
+// until key's shard has applied at least minSeq — on a follower, until
+// replication catches up to the write that produced the coordinate —
+// then reads. minSeq 0 degrades to a plain Get.
+func (c *Client) GetAtSeq(key []byte, minSeq uint64) ([]byte, error) {
+	resp, err := c.call(&server.Request{Op: server.OpGetSeq, Key: key, MinSeq: minSeq}, false)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Value, nil
+}
+
+// Checkpoint takes an online backup into the named subdirectory of the
+// server's checkpoint root and returns the durable marker's JSON
+// (files, bytes, per-shard seqs).
+func (c *Client) Checkpoint(name string) ([]byte, error) {
+	resp, err := c.call(&server.Request{Op: server.OpCheckpoint, Key: []byte(name)}, false)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Value, nil
+}
+
+// Merkle asks the server for a Merkle summary of its logical content,
+// pinned at seqs (nil = the server's current watermarks) with the given
+// bucket count (0 = server default). Equal roots at equal vectors on a
+// primary and follower mean zero divergence.
+func (c *Client) Merkle(buckets int, seqs []uint64) (*replica.Tree, error) {
+	if buckets < 0 {
+		buckets = 0
+	}
+	resp, err := c.call(&server.Request{Op: server.OpMerkle, Buckets: uint64(buckets), Seqs: seqs}, false)
+	if err != nil {
+		return nil, err
+	}
+	var t replica.Tree
+	if err := json.Unmarshal(resp.Value, &t); err != nil {
+		return nil, fmt.Errorf("client: decode merkle tree: %w", err)
+	}
+	return &t, nil
 }
 
 // call runs one request with the retry policy.

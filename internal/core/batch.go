@@ -76,8 +76,8 @@ func (db *DB) ApplyBatch(ops []BatchOp, sync bool) error {
 	// Key-value separation happens outside the lock, like single writes:
 	// append separated values to the log, store pointers instead. One
 	// vlog sync covers every separated value in the batch.
+	separated := false
 	if db.vlog != nil {
-		separated := false
 		for i := range entries {
 			e := &entries[i]
 			if e.kind == kv.KindSet && len(e.value) >= db.opts.ValueThreshold {
@@ -104,8 +104,9 @@ func (db *DB) ApplyBatch(ops []BatchOp, sync bool) error {
 	}
 	firstSeq := db.seq + 1
 	db.seq += kv.SeqNum(len(entries))
+	var rec []byte
 	if db.wal != nil {
-		rec := encodeBatch(firstSeq, entries)
+		rec = encodeBatch(firstSeq, entries)
 		if err := db.wal.AddRecord(rec); err != nil {
 			return err
 		}
@@ -119,6 +120,23 @@ func (db *DB) ApplyBatch(ops []BatchOp, sync bool) error {
 			db.opts.Stats.WALSyncs.Add(1)
 		}
 	}
+	if db.commitHook != nil {
+		// Ship the logical batch: when vlog separation rewrote entries
+		// into pointers, re-encode from the caller's untouched ops so
+		// followers receive resolvable values.
+		payload := rec
+		if separated || rec == nil {
+			logical := make([]batchEntry, len(ops))
+			for i, op := range ops {
+				logical[i] = batchEntry{kind: op.Kind, key: op.Key, value: op.Value}
+				if op.Kind == kv.KindDelete {
+					logical[i].value = nil
+				}
+			}
+			payload = encodeBatch(firstSeq, logical)
+		}
+		db.commitHook(uint64(firstSeq), len(entries), payload)
+	}
 	var nbytes int64
 	for i, e := range entries {
 		db.mem.Add(kv.Entry{Key: kv.MakeInternalKey(e.key, firstSeq+kv.SeqNum(i), e.kind), Value: e.value})
@@ -127,6 +145,7 @@ func (db *DB) ApplyBatch(ops []BatchOp, sync bool) error {
 	db.opts.Stats.BytesWritten.Add(nbytes)
 	db.opts.Stats.BatchCommits.Add(1)
 	db.opts.Stats.BatchedOps.Add(int64(len(entries)))
+	db.notifySeqLocked()
 
 	if db.mem.ApproxSize() >= db.opts.MemtableBytes {
 		return db.freezeMemLocked()

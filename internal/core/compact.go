@@ -144,8 +144,16 @@ func (db *DB) flushOldestImm() error {
 
 	db.mu.Lock()
 	db.imms = db.imms[1:]
+	removeWAL := !db.opts.DisableWAL
+	if removeWAL && db.walPins > 0 {
+		// An online checkpoint is copying the WAL file set it pinned;
+		// deleting this log now could tear a file out from under the
+		// copy. Defer the removal until the checkpoint unpins.
+		db.deferredWALs = append(db.deferredWALs, im.walNum)
+		removeWAL = false
+	}
 	db.mu.Unlock()
-	if !db.opts.DisableWAL {
+	if removeWAL {
 		db.opts.FS.Remove(db.walPath(im.walNum))
 	}
 	db.opts.Stats.Flushes.Add(1)

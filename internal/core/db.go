@@ -73,6 +73,16 @@ type DB struct {
 	// snapshots maps active snapshot seqs to their refcounts.
 	snapshots map[kv.SeqNum]int
 
+	// commitHook observes every committed batch for replication;
+	// seqWaiters park WaitForSeq callers until db.seq reaches their
+	// target.
+	commitHook CommitHook
+	seqWaiters []seqWaiter
+	// walPins > 0 defers WAL file deletion (an online checkpoint is
+	// copying them); deferredWALs holds the postponed removals.
+	walPins      int
+	deferredWALs []uint64
+
 	// monkeyBits caches the per-level bits/key allocation; recomputed on
 	// every version install.
 	monkeyBits []float64
@@ -310,8 +320,9 @@ func (db *DB) write(kind kv.Kind, key, value []byte) error {
 	}
 	db.seq++
 	seq := db.seq
+	var rec []byte
 	if db.wal != nil {
-		rec := encodeBatch(seq, []batchEntry{{kind: storedKind, key: key, value: storedValue}})
+		rec = encodeBatch(seq, []batchEntry{{kind: storedKind, key: key, value: storedValue}})
 		if err := db.wal.AddRecord(rec); err != nil {
 			return err
 		}
@@ -320,8 +331,19 @@ func (db *DB) write(kind kv.Kind, key, value []byte) error {
 			db.opts.Stats.WALSyncs.Add(1)
 		}
 	}
+	if db.commitHook != nil {
+		// The replication stream carries the logical record: original
+		// kind and value, not the vlog pointer a follower couldn't
+		// resolve.
+		payload := rec
+		if storedKind != kind || rec == nil {
+			payload = encodeBatch(seq, []batchEntry{{kind: kind, key: key, value: value}})
+		}
+		db.commitHook(uint64(seq), 1, payload)
+	}
 	db.mem.Add(kv.Entry{Key: kv.MakeInternalKey(key, seq, storedKind), Value: storedValue})
 	db.opts.Stats.BytesWritten.Add(int64(len(key) + len(storedValue)))
+	db.notifySeqLocked()
 
 	if db.mem.ApproxSize() >= db.opts.MemtableBytes {
 		if err := db.freezeMemLocked(); err != nil {
@@ -771,6 +793,7 @@ func (db *DB) Close() error {
 	db.closed = true
 	db.cond.Broadcast()
 	db.bgCond.Broadcast()
+	db.closeSeqWaitersLocked()
 	db.mu.Unlock()
 
 	db.workers.Wait()
@@ -784,6 +807,15 @@ func (db *DB) Close() error {
 		if flushErr == nil && db.bgErr == nil && len(db.imms) == 0 {
 			db.opts.FS.Remove(db.walPath(db.walNum))
 		}
+	}
+	if db.walPins == 0 {
+		// Deferred removals for flushed-while-checkpointing WALs; their
+		// contents reached L0 tables, so they are dead weight. A
+		// checkpoint still in flight drains them itself when it unpins.
+		for _, n := range db.deferredWALs {
+			db.opts.FS.Remove(db.walPath(n))
+		}
+		db.deferredWALs = nil
 	}
 	cur := db.current
 	db.mu.Unlock()

@@ -36,6 +36,14 @@ const (
 	EventConnRejected EventType = "conn-rejected"
 	// EventDrain is the server starting its graceful shutdown.
 	EventDrain EventType = "drain"
+	// EventCheckpoint is a completed online checkpoint (consistent file
+	// set copied without pausing writes).
+	EventCheckpoint EventType = "checkpoint"
+	// EventReplConnect is a follower establishing its replication
+	// stream; EventReplDisconnect is the stream dropping (the follower
+	// retries with backoff).
+	EventReplConnect    EventType = "repl-connect"
+	EventReplDisconnect EventType = "repl-disconnect"
 )
 
 // Event is one recorded lifecycle event. FromLevel/ToLevel are -1 when

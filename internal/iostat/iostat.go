@@ -91,6 +91,16 @@ type Stats struct {
 	// while stall time stays zero is the backpressure working as designed.
 	WriteSlowdowns  atomic.Int64
 	WriteSlowdownNs atomic.Int64
+
+	// ReplRecordsApplied counts replicated WAL records applied on a
+	// follower; ReplBytesApplied is their payload volume. Both advance
+	// only through ApplyReplicated, so a primary reads zero.
+	ReplRecordsApplied atomic.Int64
+	ReplBytesApplied   atomic.Int64
+	// Checkpoints counts completed online checkpoints; CheckpointBytes
+	// is the total bytes copied or hard-linked into checkpoint dirs.
+	Checkpoints     atomic.Int64
+	CheckpointBytes atomic.Int64
 }
 
 // Snapshot is a point-in-time copy of every counter.
@@ -123,6 +133,10 @@ type Snapshot struct {
 	WriteStallNs           int64
 	WriteSlowdowns         int64
 	WriteSlowdownNs        int64
+	ReplRecordsApplied     int64
+	ReplBytesApplied       int64
+	Checkpoints            int64
+	CheckpointBytes        int64
 }
 
 // Snapshot copies the current counter values.
@@ -156,6 +170,10 @@ func (s *Stats) Snapshot() Snapshot {
 		WriteStallNs:           s.WriteStallNs.Load(),
 		WriteSlowdowns:         s.WriteSlowdowns.Load(),
 		WriteSlowdownNs:        s.WriteSlowdownNs.Load(),
+		ReplRecordsApplied:     s.ReplRecordsApplied.Load(),
+		ReplBytesApplied:       s.ReplBytesApplied.Load(),
+		Checkpoints:            s.Checkpoints.Load(),
+		CheckpointBytes:        s.CheckpointBytes.Load(),
 	}
 }
 
@@ -191,6 +209,10 @@ func (s Snapshot) Add(t Snapshot) Snapshot {
 		WriteStallNs:           s.WriteStallNs + t.WriteStallNs,
 		WriteSlowdowns:         s.WriteSlowdowns + t.WriteSlowdowns,
 		WriteSlowdownNs:        s.WriteSlowdownNs + t.WriteSlowdownNs,
+		ReplRecordsApplied:     s.ReplRecordsApplied + t.ReplRecordsApplied,
+		ReplBytesApplied:       s.ReplBytesApplied + t.ReplBytesApplied,
+		Checkpoints:            s.Checkpoints + t.Checkpoints,
+		CheckpointBytes:        s.CheckpointBytes + t.CheckpointBytes,
 	}
 }
 
@@ -225,6 +247,10 @@ func (s Snapshot) Sub(t Snapshot) Snapshot {
 		WriteStallNs:           s.WriteStallNs - t.WriteStallNs,
 		WriteSlowdowns:         s.WriteSlowdowns - t.WriteSlowdowns,
 		WriteSlowdownNs:        s.WriteSlowdownNs - t.WriteSlowdownNs,
+		ReplRecordsApplied:     s.ReplRecordsApplied - t.ReplRecordsApplied,
+		ReplBytesApplied:       s.ReplBytesApplied - t.ReplBytesApplied,
+		Checkpoints:            s.Checkpoints - t.Checkpoints,
+		CheckpointBytes:        s.CheckpointBytes - t.CheckpointBytes,
 	}
 }
 

@@ -1,0 +1,90 @@
+package replica
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrTooOld means a follower's watermark has fallen behind the oldest
+// record the primary's bounded backlog retains: the stream cannot bridge
+// the gap, and the follower must re-bootstrap from a fresh checkpoint.
+var ErrTooOld = errors.New("replica: watermark older than backlog floor; re-bootstrap from a checkpoint")
+
+// backlogEntry is one committed batch retained for shipping.
+type backlogEntry struct {
+	first, last uint64
+	payload     []byte
+}
+
+// backlog is one shard's bounded in-memory ring of recent WAL records.
+// Eviction advances floor: a reader whose watermark is below floor has
+// missed evicted history and gets ErrTooOld.
+type backlog struct {
+	mu       sync.Mutex
+	entries  []backlogEntry
+	bytes    int64
+	maxBytes int64
+	// floor is the highest sequence number evicted (or predating the
+	// backlog); every retained record has first > floor is NOT
+	// guaranteed, but all history through floor is unavailable here.
+	floor uint64
+	last  uint64
+}
+
+func newBacklog(maxBytes int64, startSeq uint64) *backlog {
+	return &backlog{maxBytes: maxBytes, floor: startSeq, last: startSeq}
+}
+
+// add retains one committed batch, copying payload, and evicts from the
+// front to stay within the byte budget.
+func (b *backlog) add(first, last uint64, payload []byte) {
+	p := append([]byte(nil), payload...)
+	b.mu.Lock()
+	b.entries = append(b.entries, backlogEntry{first: first, last: last, payload: p})
+	b.bytes += int64(len(p))
+	b.last = last
+	for b.bytes > b.maxBytes && len(b.entries) > 1 {
+		ev := b.entries[0]
+		b.entries = b.entries[1:]
+		b.bytes -= int64(len(ev.payload))
+		if ev.last > b.floor {
+			b.floor = ev.last
+		}
+	}
+	b.mu.Unlock()
+}
+
+// collect returns record payloads covering sequence numbers above the
+// follower watermark w, up to maxBytes of payload (at least one record
+// when any is pending). It returns ErrTooOld when evicted history is
+// needed.
+func (b *backlog) collect(w uint64, maxBytes int64) ([][]byte, uint64, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if w < b.floor {
+		return nil, w, fmt.Errorf("%w (watermark %d, floor %d)", ErrTooOld, w, b.floor)
+	}
+	var out [][]byte
+	var size int64
+	next := w
+	for _, e := range b.entries {
+		if e.last <= w {
+			continue
+		}
+		if len(out) > 0 && size+int64(len(e.payload)) > maxBytes {
+			break
+		}
+		out = append(out, e.payload)
+		size += int64(len(e.payload))
+		next = e.last
+	}
+	return out, next, nil
+}
+
+// snapshot reports the ring's occupancy for status payloads.
+func (b *backlog) snapshot() (bytes int64, floor, last uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.bytes, b.floor, b.last
+}

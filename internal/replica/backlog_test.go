@@ -1,0 +1,88 @@
+package replica
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestBacklogCollect(t *testing.T) {
+	b := newBacklog(1<<20, 0)
+	b.add(1, 2, []byte("batch-a")) // seqs 1-2
+	b.add(3, 3, []byte("batch-b")) // seq 3
+	b.add(4, 6, []byte("batch-c")) // seqs 4-6
+
+	out, next, err := b.collect(0, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 || next != 6 {
+		t.Fatalf("collect(0): %d records, next %d", len(out), next)
+	}
+	// A partially caught-up watermark skips fully-covered batches.
+	out, next, err = b.collect(3, 1<<20)
+	if err != nil || len(out) != 1 || !bytes.Equal(out[0], []byte("batch-c")) || next != 6 {
+		t.Fatalf("collect(3): out=%q next=%d err=%v", out, next, err)
+	}
+	// Caught up: nothing pending, watermark unchanged.
+	out, next, err = b.collect(6, 1<<20)
+	if err != nil || len(out) != 0 || next != 6 {
+		t.Fatalf("collect(6): out=%q next=%d err=%v", out, next, err)
+	}
+}
+
+func TestBacklogByteBudget(t *testing.T) {
+	b := newBacklog(1<<20, 0)
+	b.add(1, 1, bytes.Repeat([]byte("x"), 100))
+	b.add(2, 2, bytes.Repeat([]byte("y"), 100))
+
+	// The budget caps a collection after the first record...
+	out, next, err := b.collect(0, 150)
+	if err != nil || len(out) != 1 || next != 1 {
+		t.Fatalf("budget collect: %d records, next %d, err %v", len(out), next, err)
+	}
+	// ...but always yields at least one record, even one over budget.
+	out, next, err = b.collect(0, 10)
+	if err != nil || len(out) != 1 || next != 1 {
+		t.Fatalf("tiny budget collect: %d records, next %d, err %v", len(out), next, err)
+	}
+}
+
+func TestBacklogEvictionFloor(t *testing.T) {
+	b := newBacklog(250, 0)
+	seq := uint64(1)
+	for i := 0; i < 10; i++ {
+		b.add(seq, seq, bytes.Repeat([]byte("z"), 100))
+		seq++
+	}
+	bytesHeld, floor, last := b.snapshot()
+	if bytesHeld > 250 && floor == 0 {
+		t.Fatalf("over budget (%d bytes) without evicting", bytesHeld)
+	}
+	if floor == 0 || last != 10 {
+		t.Fatalf("floor=%d last=%d after forced eviction", floor, last)
+	}
+	// A watermark behind the floor has missed evicted history.
+	if _, _, err := b.collect(floor-1, 1<<20); !errors.Is(err, ErrTooOld) {
+		t.Fatalf("stale watermark: got %v, want ErrTooOld", err)
+	}
+	// At the floor the survivors are still streamable.
+	out, next, err := b.collect(floor, 1<<20)
+	if err != nil || len(out) == 0 || next != 10 {
+		t.Fatalf("collect(floor): %d records, next %d, err %v", len(out), next, err)
+	}
+}
+
+func TestBacklogStartSeq(t *testing.T) {
+	// A backlog created at watermark 100 serves followers from there and
+	// refuses older watermarks: that history belongs to checkpoints.
+	b := newBacklog(1<<20, 100)
+	if _, _, err := b.collect(50, 1<<20); !errors.Is(err, ErrTooOld) {
+		t.Fatalf("pre-floor watermark: got %v, want ErrTooOld", err)
+	}
+	b.add(101, 105, []byte("fresh"))
+	out, next, err := b.collect(100, 1<<20)
+	if err != nil || len(out) != 1 || next != 105 {
+		t.Fatalf("collect(100): out=%q next=%d err=%v", out, next, err)
+	}
+}

@@ -1,0 +1,148 @@
+package replica
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// REPLFRAME body encoding. A replication stream is a sequence of frames,
+// each carried as one protocol response body on the REPLSYNC request's
+// ID. Three kinds:
+//
+//	records:   kind(1) | uvarint shard | uvarint count |
+//	           count x (u32 LE crc | u32 LE len | payload)
+//	heartbeat: kind(1) | uvarint nshards | nshards x uvarint seq
+//	error:     kind(1) | message bytes
+//
+// Record payloads are the engine's logical WAL records, re-framed with
+// the WAL's own CRC discipline (crc32-Castagnoli over the payload) so a
+// flipped bit anywhere between the primary's log and the follower's
+// apply path is caught before it reaches the memtable.
+
+// Frame kinds.
+const (
+	FrameRecords   byte = 1
+	FrameHeartbeat byte = 2
+	FrameError     byte = 3
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrBadFrame reports a malformed or corrupt replication frame.
+var ErrBadFrame = errors.New("replica: malformed replication frame")
+
+// Frame is one decoded replication frame.
+type Frame struct {
+	Kind byte
+	// Shard and Records are set for FrameRecords: CRC-verified logical
+	// WAL record payloads for one shard, in sequence order.
+	Shard   int
+	Records [][]byte
+	// Seqs is set for FrameHeartbeat: the primary's current per-shard
+	// applied watermarks (the lag reference).
+	Seqs []uint64
+	// Err is set for FrameError: a stream-fatal condition (e.g. the
+	// follower's watermark has fallen off the primary's backlog).
+	Err string
+}
+
+// AppendRecordsFrame encodes a records frame for one shard.
+func AppendRecordsFrame(dst []byte, shard int, payloads [][]byte) []byte {
+	dst = append(dst, FrameRecords)
+	dst = binary.AppendUvarint(dst, uint64(shard))
+	dst = binary.AppendUvarint(dst, uint64(len(payloads)))
+	for _, p := range payloads {
+		var hdr [8]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], crc32.Checksum(p, crcTable))
+		binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(p)))
+		dst = append(dst, hdr[:]...)
+		dst = append(dst, p...)
+	}
+	return dst
+}
+
+// AppendHeartbeatFrame encodes the primary's current watermark vector.
+func AppendHeartbeatFrame(dst []byte, seqs []uint64) []byte {
+	dst = append(dst, FrameHeartbeat)
+	dst = binary.AppendUvarint(dst, uint64(len(seqs)))
+	for _, s := range seqs {
+		dst = binary.AppendUvarint(dst, s)
+	}
+	return dst
+}
+
+// AppendErrorFrame encodes a stream-fatal error message.
+func AppendErrorFrame(dst []byte, msg string) []byte {
+	dst = append(dst, FrameError)
+	return append(dst, msg...)
+}
+
+// DecodeFrame parses and validates one frame body. Record CRCs are
+// verified; the returned payload slices alias body.
+func DecodeFrame(body []byte) (*Frame, error) {
+	if len(body) == 0 {
+		return nil, ErrBadFrame
+	}
+	f := &Frame{Kind: body[0]}
+	body = body[1:]
+	switch f.Kind {
+	case FrameRecords:
+		shard, n := binary.Uvarint(body)
+		if n <= 0 || shard > 1<<20 {
+			return nil, ErrBadFrame
+		}
+		body = body[n:]
+		count, n := binary.Uvarint(body)
+		if n <= 0 || count > uint64(len(body)/8+1) {
+			return nil, ErrBadFrame
+		}
+		body = body[n:]
+		f.Shard = int(shard)
+		f.Records = make([][]byte, 0, count)
+		for i := uint64(0); i < count; i++ {
+			if len(body) < 8 {
+				return nil, ErrBadFrame
+			}
+			crc := binary.LittleEndian.Uint32(body[0:4])
+			plen := binary.LittleEndian.Uint32(body[4:8])
+			body = body[8:]
+			if uint64(plen) > uint64(len(body)) {
+				return nil, ErrBadFrame
+			}
+			p := body[:plen]
+			body = body[plen:]
+			if crc32.Checksum(p, crcTable) != crc {
+				return nil, fmt.Errorf("%w: record CRC mismatch", ErrBadFrame)
+			}
+			f.Records = append(f.Records, p)
+		}
+		if len(body) != 0 {
+			return nil, ErrBadFrame
+		}
+	case FrameHeartbeat:
+		count, n := binary.Uvarint(body)
+		if n <= 0 || count > uint64(len(body)+1) {
+			return nil, ErrBadFrame
+		}
+		body = body[n:]
+		f.Seqs = make([]uint64, 0, count)
+		for i := uint64(0); i < count; i++ {
+			s, n := binary.Uvarint(body)
+			if n <= 0 {
+				return nil, ErrBadFrame
+			}
+			body = body[n:]
+			f.Seqs = append(f.Seqs, s)
+		}
+		if len(body) != 0 {
+			return nil, ErrBadFrame
+		}
+	case FrameError:
+		f.Err = string(body)
+	default:
+		return nil, ErrBadFrame
+	}
+	return f, nil
+}

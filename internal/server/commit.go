@@ -6,10 +6,15 @@ import (
 
 // commitReq is one write request (PUT, DELETE, or BATCH) — or, against a
 // sharded engine, one shard's slice of it — waiting for a group-commit
-// loop. done receives the commit outcome exactly once.
+// loop. done receives the commit outcome exactly once; on success, seq
+// holds the shard's sequence watermark after the commit group applied (0
+// when the engine does not expose sequence numbers), which the ack layer
+// forwards to clients as their read-your-writes coordinate.
 type commitReq struct {
-	ops  []core.BatchOp
-	done chan error
+	ops   []core.BatchOp
+	shard int
+	seq   uint64
+	done  chan error
 }
 
 // committer is one group-commit loop: a single goroutine drains its
@@ -25,10 +30,15 @@ type commitReq struct {
 // independently — the per-shard WAL is pointless if every shard's commits
 // still funnel through one loop.
 type committer struct {
-	apply   func(ops []core.BatchOp, sync bool) error
-	ch      chan *commitReq
-	maxOps  int
-	sync    bool
+	apply  func(ops []core.BatchOp, sync bool) error
+	ch     chan *commitReq
+	maxOps int
+	sync   bool
+	// lastSeq, when non-nil, reads the shard's applied watermark after a
+	// group commits. The group's watermark is necessarily >= every member
+	// write's own sequence number, so it is a valid (if slightly
+	// conservative) read-your-writes coordinate for each of them.
+	lastSeq func() uint64
 	metrics *Metrics
 	done    chan struct{}
 }
@@ -86,7 +96,12 @@ func (c *committer) loop() {
 		c.metrics.CommitQueue.Add(int64(-len(reqs)))
 		err := c.apply(ops, c.sync)
 		c.metrics.observeCommit(len(ops))
+		var seq uint64
+		if err == nil && c.lastSeq != nil {
+			seq = c.lastSeq()
+		}
 		for _, r := range reqs {
+			r.seq = seq
 			r.done <- err
 		}
 	}

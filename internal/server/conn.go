@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"errors"
 	"net"
+	"path/filepath"
+	"strings"
 	"sync"
 	"time"
 
@@ -37,6 +39,12 @@ type conn struct {
 	out  chan []byte
 	acks chan *pendingWrite
 
+	// stop closes when the connection is going away — on drain or when the
+	// write side breaks. Replication streams (which occupy the read loop
+	// and never see the read deadline) select on it to terminate.
+	stop     chan struct{}
+	stopOnce sync.Once
+
 	dmu      sync.Mutex // guards read-deadline arming vs drain
 	draining bool
 }
@@ -59,7 +67,13 @@ func newConn(s *Server, nc net.Conn) *conn {
 		bw:   bufio.NewWriterSize(nc, 64<<10),
 		out:  make(chan []byte, 256),
 		acks: make(chan *pendingWrite, 1024),
+		stop: make(chan struct{}),
 	}
+}
+
+// signalStop closes the connection's stop channel (idempotent).
+func (c *conn) signalStop() {
+	c.stopOnce.Do(func() { close(c.stop) })
 }
 
 func (c *conn) run() {
@@ -84,6 +98,7 @@ func (c *conn) beginDrain() {
 	c.draining = true
 	c.nc.SetReadDeadline(time.Now())
 	c.dmu.Unlock()
+	c.signalStop()
 }
 
 // armReadDeadline sets the idle deadline unless the connection is
@@ -161,6 +176,14 @@ func (c *conn) dispatch(req *Request) {
 		c.handleStats(req, start)
 	case OpTrace:
 		c.handleTrace(req, start)
+	case OpGetSeq:
+		c.handleGetSeq(req, start)
+	case OpCheckpoint:
+		c.handleCheckpoint(req, start)
+	case OpMerkle:
+		c.handleMerkle(req, start)
+	case OpReplSync:
+		c.handleReplSync(req, start)
 	case OpPut:
 		c.submitWrite(req, start, []core.BatchOp{core.PutOp(req.Key, req.Value)})
 	case OpDelete:
@@ -242,12 +265,150 @@ func (c *conn) handleTrace(req *Request, start time.Time) {
 	c.finishRead(req, start, &resp)
 }
 
+// getSeqWaitTimeout bounds how long a GETSEQ read waits for its shard's
+// watermark; a lagging follower answers with an error the client can
+// retry rather than holding the connection indefinitely.
+const getSeqWaitTimeout = 30 * time.Second
+
+// handleGetSeq serves the read-your-writes GET: wait until the key's
+// shard has applied at least MinSeq (on a follower, until replication
+// catches up), then read. Engines without sequence watermarks degrade to
+// a plain GET when MinSeq is 0 and reject otherwise.
+func (c *conn) handleGetSeq(req *Request, start time.Time) {
+	if req.MinSeq > 0 {
+		if c.srv.seqEng == nil {
+			resp := Response{ID: req.ID, Status: StatusError, Value: []byte("server: engine has no sequence watermarks")}
+			c.finishRead(req, start, &resp)
+			return
+		}
+		shard := 0
+		if c.srv.sharded != nil {
+			shard = c.srv.sharded.ShardOf(req.Key)
+		}
+		if err := c.srv.seqEng.WaitForSeq(shard, req.MinSeq, getSeqWaitTimeout); err != nil {
+			resp := errResponse(req.ID, err)
+			c.finishRead(req, start, &resp)
+			return
+		}
+	}
+	c.handleGet(req, start)
+}
+
+// handleCheckpoint serves the CHECKPOINT opcode: an online backup into a
+// named subdirectory of the server's checkpoint root. It runs inline —
+// blocking only this connection — while writes proceed through the
+// committers; the response body is the durable marker's JSON.
+func (c *conn) handleCheckpoint(req *Request, start time.Time) {
+	name := string(req.Key)
+	if c.srv.ckptEng == nil || c.srv.cfg.CheckpointDir == "" {
+		resp := Response{ID: req.ID, Status: StatusError, Value: []byte("server: checkpoints not enabled (no -checkpoint-dir)")}
+		c.finishRead(req, start, &resp)
+		return
+	}
+	if name == "" || name == "." || name == ".." || strings.ContainsAny(name, "/\\") {
+		resp := Response{ID: req.ID, Status: StatusError, Value: []byte("server: checkpoint name must be a plain directory name")}
+		c.finishRead(req, start, &resp)
+		return
+	}
+	info, err := c.srv.ckptEng.Checkpoint(filepath.Join(c.srv.cfg.CheckpointDir, name))
+	if err != nil {
+		resp := errResponse(req.ID, err)
+		c.finishRead(req, start, &resp)
+		return
+	}
+	body, jerr := json.Marshal(info)
+	resp := Response{ID: req.ID, Status: StatusOK, Value: body}
+	if jerr != nil {
+		resp = errResponse(req.ID, jerr)
+	}
+	c.srv.cfg.Logf("server: checkpoint %q: %d files, %d bytes", name, info.Files, info.Bytes)
+	c.finishRead(req, start, &resp)
+}
+
+// handleMerkle serves the MERKLE opcode: a Merkle summary of the
+// engine's logical content pinned at the request's sequence vector
+// (current watermarks when empty). The full scan runs inline, blocking
+// only this connection.
+func (c *conn) handleMerkle(req *Request, start time.Time) {
+	if c.srv.merkleEng == nil {
+		resp := Response{ID: req.ID, Status: StatusError, Value: []byte("server: engine has no Merkle support")}
+		c.finishRead(req, start, &resp)
+		return
+	}
+	seqs := req.Seqs
+	if len(seqs) == 0 {
+		seqs = nil
+	}
+	// An explicit vector may be ahead of this server (a follower still
+	// catching up to the primary's pin point): wait for each shard before
+	// pinning, so cross-server comparison doesn't race replication.
+	if seqs != nil && c.srv.seqEng != nil {
+		for shard, seq := range seqs {
+			if err := c.srv.seqEng.WaitForSeq(shard, seq, getSeqWaitTimeout); err != nil {
+				resp := errResponse(req.ID, err)
+				c.finishRead(req, start, &resp)
+				return
+			}
+		}
+	}
+	tree, err := c.srv.merkleEng.MerkleAt(int(req.Buckets), seqs)
+	if err != nil {
+		resp := errResponse(req.ID, err)
+		c.finishRead(req, start, &resp)
+		return
+	}
+	body, jerr := json.Marshal(tree)
+	resp := Response{ID: req.ID, Status: StatusOK, Value: body}
+	if jerr != nil {
+		resp = errResponse(req.ID, jerr)
+	}
+	c.finishRead(req, start, &resp)
+}
+
+// handleReplSync turns the connection into a replication stream: frames
+// flow as StatusOK responses bearing this request's ID until the
+// follower hangs up, the server drains, or the follower's watermarks
+// fall off the backlog (an error frame explains, then the stream ends).
+// The call occupies the read loop, so the connection is dedicated —
+// exactly how the follower uses it.
+func (c *conn) handleReplSync(req *Request, start time.Time) {
+	if c.srv.cfg.Repl == nil {
+		resp := Response{ID: req.ID, Status: StatusError, Value: []byte("server: replication not enabled")}
+		c.finishRead(req, start, &resp)
+		return
+	}
+	c.srv.cfg.Logf("server: replication stream from %s at watermarks %v", c.nc.RemoteAddr(), req.Seqs)
+	send := func(frame []byte) error {
+		select {
+		case <-c.stop:
+			return errStreamStopped
+		default:
+		}
+		c.send(AppendResponse(nil, &Response{ID: req.ID, Status: StatusOK, Value: frame}))
+		return nil
+	}
+	err := c.srv.cfg.Repl.Stream(req.Seqs, send, c.stop)
+	c.srv.metrics.observeOp(req.Op, time.Since(start))
+	if err != nil && !errors.Is(err, errStreamStopped) {
+		c.srv.cfg.Logf("server: replication stream from %s ended: %v", c.nc.RemoteAddr(), err)
+	}
+}
+
+// errStreamStopped marks a replication stream ended by connection
+// teardown rather than a protocol condition.
+var errStreamStopped = errors.New("server: stream stopped")
+
 // submitWrite routes ops to their group committer(s) and queues the ack.
 // Against a sharded engine, point writes go to the owning shard's
 // committer and a BATCH is split into per-shard sub-batches, each
 // submitted to its shard's committer; the ack waits for all of them. All
 // channels apply backpressure by blocking the read loop when full.
 func (c *conn) submitWrite(req *Request, start time.Time, ops []core.BatchOp) {
+	if c.srv.cfg.ReadOnly {
+		resp := Response{ID: req.ID, Status: StatusError, Value: []byte("server: read-only replica (writes go to the primary)")}
+		c.finishRead(req, start, &resp)
+		return
+	}
 	if len(ops) == 0 {
 		c.finishRead(req, start, &Response{ID: req.ID, Status: StatusOK})
 		return
@@ -258,8 +419,9 @@ func (c *conn) submitWrite(req *Request, start time.Time, ops []core.BatchOp) {
 		c.srv.committers[0].submit(cr)
 		pw.reqs = append(pw.reqs, cr)
 	} else if len(ops) == 1 {
-		cr := &commitReq{ops: ops, done: make(chan error, 1)}
-		c.srv.committers[se.ShardOf(ops[0].Key)].submit(cr)
+		shard := se.ShardOf(ops[0].Key)
+		cr := &commitReq{ops: ops, shard: shard, done: make(chan error, 1)}
+		c.srv.committers[shard].submit(cr)
 		pw.reqs = append(pw.reqs, cr)
 	} else {
 		subs := make([][]core.BatchOp, len(c.srv.committers))
@@ -271,7 +433,7 @@ func (c *conn) submitWrite(req *Request, start time.Time, ops []core.BatchOp) {
 			if len(sub) == 0 {
 				continue
 			}
-			cr := &commitReq{ops: sub, done: make(chan error, 1)}
+			cr := &commitReq{ops: sub, shard: i, done: make(chan error, 1)}
 			c.srv.committers[i].submit(cr)
 			pw.reqs = append(pw.reqs, cr)
 		}
@@ -290,6 +452,19 @@ func (c *conn) ackLoop() {
 		resp := Response{ID: pw.id, Status: StatusOK}
 		if err != nil {
 			resp = errResponse(pw.id, err)
+		} else if c.srv.seqEng != nil {
+			// Successful write acks carry (shard, seq) coordinates for
+			// read-your-writes against replicas; clients that predate them
+			// ignore ack bodies.
+			acks := make([]ShardSeq, 0, len(pw.reqs))
+			for _, cr := range pw.reqs {
+				if cr.seq > 0 {
+					acks = append(acks, ShardSeq{Shard: cr.shard, Seq: cr.seq})
+				}
+			}
+			if len(acks) > 0 {
+				resp.Value = AppendSeqAcks(nil, acks)
+			}
 		}
 		c.srv.metrics.observeOp(pw.op, time.Since(pw.start))
 		c.send(AppendResponse(nil, &resp))
@@ -321,9 +496,11 @@ func (c *conn) writeLoop(done chan struct{}) {
 		c.nc.SetWriteDeadline(time.Now().Add(c.srv.cfg.WriteTimeout))
 		if err := WriteFrame(c.bw, p); err != nil {
 			// The connection is dead: keep draining out so the other
-			// goroutines never block, and close to unblock the reader.
+			// goroutines never block, and close to unblock the reader. The
+			// stop signal terminates any replication stream feeding out.
 			broken = true
 			c.nc.Close()
+			c.signalStop()
 			return
 		}
 		c.srv.metrics.BytesOut.Add(int64(len(p) + frameHeaderLen))
@@ -336,6 +513,7 @@ func (c *conn) writeLoop(done chan struct{}) {
 		if err := c.bw.Flush(); err != nil {
 			broken = true
 			c.nc.Close()
+			c.signalStop()
 		}
 	}
 	for p := range c.out {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"lsmkv/internal/iostat"
+	"lsmkv/internal/replica"
 )
 
 // commitHistBuckets sizes the commit-batch histogram: bucket i counts
@@ -186,6 +187,16 @@ type metricsPayload struct {
 	// aggregate). A skewed shard shows up here as one entry's flush and
 	// stall counters running ahead of its peers'.
 	EngineShards []iostat.Snapshot `json:"engine_shards,omitempty"`
+	// EngineSeqs carries the per-shard applied sequence watermarks when
+	// the engine exposes them — the replication coordinate system: compare
+	// a primary's and follower's vectors to see lag shard by shard.
+	EngineSeqs []uint64 `json:"engine_seq,omitempty"`
+	// Replication is this server's follower-loop status (set only on
+	// followers): connection state, applied vs primary watermarks, lag.
+	Replication *replica.FollowerStatus `json:"replication,omitempty"`
+	// ReplPrimary is the primary-side shipper's status (set only when
+	// replication serving is enabled): live streams, backlog, floors.
+	ReplPrimary *replica.PrimaryStatus `json:"repl_primary,omitempty"`
 	// Events holds both bounded event rings, oldest first. Against a
 	// sharded engine every engine event carries the shard that recorded
 	// it.
@@ -204,6 +215,17 @@ func (s *Server) payload() metricsPayload {
 	}
 	if s.sharded != nil {
 		p.EngineShards = s.sharded.ShardStats()
+	}
+	if s.seqEng != nil {
+		p.EngineSeqs = s.seqEng.LastSeqs()
+	}
+	if s.cfg.Follower != nil {
+		st := s.cfg.Follower.Status()
+		p.Replication = &st
+	}
+	if s.cfg.Repl != nil {
+		st := s.cfg.Repl.Status()
+		p.ReplPrimary = &st
 	}
 	return p
 }

@@ -61,8 +61,25 @@ const (
 	// OpTrace is a GET that also returns the read path taken: every run
 	// consulted, each filter/fence decision, and cache behavior.
 	OpTrace Opcode = 8
+	// OpCheckpoint takes an online backup: Key names a directory under
+	// the server's checkpoint root; the response Value is the marker
+	// JSON (files, bytes, per-shard seqs).
+	OpCheckpoint Opcode = 9
+	// OpReplSync opens a replication stream: the body is the follower's
+	// per-shard watermark vector, and the server answers with an
+	// open-ended sequence of REPLFRAME responses (replica.Frame bodies)
+	// on this request's ID. The connection should be dedicated — the
+	// stream occupies its read loop.
+	OpReplSync Opcode = 10
+	// OpGetSeq is a read-your-writes GET: the server waits until the
+	// key's shard reaches MinSeq before reading.
+	OpGetSeq Opcode = 11
+	// OpMerkle computes a Merkle summary of the database's logical
+	// content at a sequence vector (response Value is replica.Tree
+	// JSON); equal trees on primary and follower mean zero divergence.
+	OpMerkle Opcode = 12
 	// opMax bounds the per-opcode metric arrays.
-	opMax = 9
+	opMax = 13
 )
 
 func (o Opcode) String() string {
@@ -83,6 +100,14 @@ func (o Opcode) String() string {
 		return "stats"
 	case OpTrace:
 		return "trace"
+	case OpCheckpoint:
+		return "checkpoint"
+	case OpReplSync:
+		return "replsync"
+	case OpGetSeq:
+		return "getseq"
+	case OpMerkle:
+		return "merkle"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(o))
 	}
@@ -145,6 +170,13 @@ type Request struct {
 	Hi    []byte
 	Limit uint64
 	Ops   []core.BatchOp
+	// MinSeq is the GETSEQ read-your-writes floor.
+	MinSeq uint64
+	// Seqs is the per-shard sequence vector: REPLSYNC watermarks, or the
+	// MERKLE pin point (empty = current).
+	Seqs []uint64
+	// Buckets is the MERKLE bucket count (0 = server default).
+	Buckets uint64
 }
 
 // Response is one decoded server response.
@@ -227,8 +259,46 @@ func AppendRequest(dst []byte, req *Request) []byte {
 				dst = kv.AppendLengthPrefixed(dst, op.Value)
 			}
 		}
+	case OpCheckpoint:
+		dst = kv.AppendLengthPrefixed(dst, req.Key)
+	case OpReplSync:
+		dst = appendSeqVector(dst, req.Seqs)
+	case OpGetSeq:
+		dst = kv.AppendLengthPrefixed(dst, req.Key)
+		dst = binary.AppendUvarint(dst, req.MinSeq)
+	case OpMerkle:
+		dst = binary.AppendUvarint(dst, req.Buckets)
+		dst = appendSeqVector(dst, req.Seqs)
 	}
 	return dst
+}
+
+func appendSeqVector(dst []byte, seqs []uint64) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(seqs)))
+	for _, s := range seqs {
+		dst = binary.AppendUvarint(dst, s)
+	}
+	return dst
+}
+
+// decodeSeqVector parses a uvarint-counted sequence vector with
+// allocation bounded by the remaining body.
+func decodeSeqVector(body []byte) ([]uint64, []byte, bool) {
+	count, w := binary.Uvarint(body)
+	if w <= 0 || count > uint64(len(body)+1) {
+		return nil, body, false
+	}
+	body = body[w:]
+	seqs := make([]uint64, 0, count)
+	for i := uint64(0); i < count; i++ {
+		s, w := binary.Uvarint(body)
+		if w <= 0 {
+			return nil, body, false
+		}
+		body = body[w:]
+		seqs = append(seqs, s)
+	}
+	return seqs, body, true
 }
 
 // DecodeRequest parses a frame payload into a Request. Returned byte
@@ -306,6 +376,32 @@ func DecodeRequest(payload []byte) (Request, error) {
 			}
 			req.Ops = append(req.Ops, op)
 		}
+	case OpCheckpoint:
+		if req.Key, body, ok = kv.DecodeLengthPrefixed(body); !ok || len(req.Key) == 0 {
+			return req, ErrMalformed
+		}
+	case OpReplSync:
+		if req.Seqs, body, ok = decodeSeqVector(body); !ok {
+			return req, ErrMalformed
+		}
+	case OpGetSeq:
+		if req.Key, body, ok = kv.DecodeLengthPrefixed(body); !ok || len(req.Key) == 0 {
+			return req, ErrMalformed
+		}
+		var w int
+		if req.MinSeq, w = binary.Uvarint(body); w <= 0 {
+			return req, ErrMalformed
+		}
+		body = body[w:]
+	case OpMerkle:
+		var w int
+		if req.Buckets, w = binary.Uvarint(body); w <= 0 {
+			return req, ErrMalformed
+		}
+		body = body[w:]
+		if req.Seqs, body, ok = decodeSeqVector(body); !ok {
+			return req, ErrMalformed
+		}
 	default:
 		return req, ErrMalformed
 	}
@@ -380,4 +476,56 @@ func DecodeResponse(payload []byte, scan bool) (Response, error) {
 		return resp, ErrMalformed
 	}
 	return resp, nil
+}
+
+// ShardSeq locates one acknowledged write in the engine's history: the
+// shard that owns it and that shard's sequence watermark after the
+// write. Clients pass it to GETSEQ (on any replica) for read-your-writes.
+type ShardSeq struct {
+	Shard int
+	Seq   uint64
+}
+
+// AppendSeqAcks encodes the (shard, seq) coordinates carried in a write
+// acknowledgment's body: uvarint count, then uvarint shard / uvarint seq
+// per entry. Pre-replication clients ignore ack bodies, so the addition
+// is backward compatible.
+func AppendSeqAcks(dst []byte, acks []ShardSeq) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(acks)))
+	for _, a := range acks {
+		dst = binary.AppendUvarint(dst, uint64(a.Shard))
+		dst = binary.AppendUvarint(dst, a.Seq)
+	}
+	return dst
+}
+
+// DecodeSeqAcks parses a write acknowledgment body. An empty body
+// decodes as no coordinates (a server without seq acks).
+func DecodeSeqAcks(body []byte) ([]ShardSeq, error) {
+	if len(body) == 0 {
+		return nil, nil
+	}
+	count, w := binary.Uvarint(body)
+	if w <= 0 || count > uint64(len(body)+1) {
+		return nil, ErrMalformed
+	}
+	body = body[w:]
+	acks := make([]ShardSeq, 0, count)
+	for i := uint64(0); i < count; i++ {
+		shard, w := binary.Uvarint(body)
+		if w <= 0 || shard > 1<<20 {
+			return nil, ErrMalformed
+		}
+		body = body[w:]
+		seq, w := binary.Uvarint(body)
+		if w <= 0 {
+			return nil, ErrMalformed
+		}
+		body = body[w:]
+		acks = append(acks, ShardSeq{Shard: int(shard), Seq: seq})
+	}
+	if len(body) != 0 {
+		return nil, ErrMalformed
+	}
+	return acks, nil
 }

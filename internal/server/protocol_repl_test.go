@@ -1,0 +1,69 @@
+package server
+
+import (
+	"errors"
+	"testing"
+
+	"lsmkv/internal/replica"
+)
+
+// TestWireConstantParity pins the follower's hand-rolled framing (the
+// replica package cannot import this one) to the server protocol.
+func TestWireConstantParity(t *testing.T) {
+	if byte(OpReplSync) != replica.WireOpReplSync {
+		t.Fatalf("replica.WireOpReplSync = %d, server OpReplSync = %d", replica.WireOpReplSync, OpReplSync)
+	}
+	if StatusOK != 0 {
+		t.Fatalf("StatusOK = %d; replica's wireStatusOK assumes 0", StatusOK)
+	}
+}
+
+func TestReplRequestRoundTrip(t *testing.T) {
+	cases := []Request{
+		{Op: OpCheckpoint, Key: []byte("nightly-01")},
+		{Op: OpReplSync, Seqs: []uint64{0, 7, 1 << 33}},
+		{Op: OpReplSync, Seqs: []uint64{}},
+		{Op: OpGetSeq, Key: []byte("k"), MinSeq: 42},
+		{Op: OpGetSeq, Key: []byte("k"), MinSeq: 0},
+		{Op: OpMerkle, Buckets: 256, Seqs: []uint64{9, 9}},
+		{Op: OpMerkle},
+	}
+	for _, c := range cases {
+		got := roundTripRequest(t, c)
+		if got.Op != c.Op || string(got.Key) != string(c.Key) || got.MinSeq != c.MinSeq || got.Buckets != c.Buckets {
+			t.Fatalf("round trip %v: got %+v, want %+v", c.Op, got, c)
+		}
+		if len(got.Seqs) != len(c.Seqs) {
+			t.Fatalf("round trip %v: seqs %v, want %v", c.Op, got.Seqs, c.Seqs)
+		}
+		for i := range c.Seqs {
+			if got.Seqs[i] != c.Seqs[i] {
+				t.Fatalf("round trip %v: seqs %v, want %v", c.Op, got.Seqs, c.Seqs)
+			}
+		}
+	}
+}
+
+func TestSeqAcksRoundTrip(t *testing.T) {
+	acks := []ShardSeq{{Shard: 0, Seq: 12}, {Shard: 7, Seq: 1 << 40}}
+	got, err := DecodeSeqAcks(AppendSeqAcks(nil, acks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != acks[0] || got[1] != acks[1] {
+		t.Fatalf("acks round trip: %+v", got)
+	}
+	// Empty body: an old server that sends no ack block.
+	if got, err := DecodeSeqAcks(nil); err != nil || got != nil {
+		t.Fatalf("empty acks: %v, %v", got, err)
+	}
+	for name, body := range map[string][]byte{
+		"truncated":  AppendSeqAcks(nil, acks)[:3],
+		"trailing":   append(AppendSeqAcks(nil, acks), 0xff),
+		"huge count": {0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01},
+	} {
+		if _, err := DecodeSeqAcks(body); !errors.Is(err, ErrMalformed) {
+			t.Errorf("%s: got %v, want ErrMalformed", name, err)
+		}
+	}
+}

@@ -8,8 +8,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"lsmkv/internal/checkpoint"
 	"lsmkv/internal/core"
 	"lsmkv/internal/iostat"
+	"lsmkv/internal/replica"
 )
 
 // Engine is the storage surface the server fronts. Both *core.DB and the
@@ -49,6 +51,30 @@ type ShardedEngine interface {
 	ShardStats() []iostat.Snapshot
 }
 
+// SeqEngine is the optional interface an engine with per-shard sequence
+// watermarks exposes (the public *lsmkv.DB). It unlocks sequence-carrying
+// write acks, the GETSEQ read-your-writes opcode, and the engine_seq
+// field in STATS//metrics.
+type SeqEngine interface {
+	Engine
+	// LastSeqs returns the per-shard applied sequence watermarks.
+	LastSeqs() []uint64
+	// WaitForSeq blocks until shard's watermark reaches seq or timeout.
+	WaitForSeq(shard int, seq uint64, timeout time.Duration) error
+}
+
+// CheckpointEngine is the optional interface for engines that support
+// online backups (the CHECKPOINT opcode).
+type CheckpointEngine interface {
+	Checkpoint(dstDir string) (checkpoint.Marker, error)
+}
+
+// MerkleEngine is the optional interface for engines that can summarize
+// their logical content for divergence checks (the MERKLE opcode).
+type MerkleEngine interface {
+	MerkleAt(buckets int, seqs []uint64) (*replica.Tree, error)
+}
+
 // Config parameterizes a Server. The zero value of every field except DB
 // selects a sensible default.
 type Config struct {
@@ -82,6 +108,20 @@ type Config struct {
 	// MaxScanResults bounds pairs per SCAN response (the client sees
 	// More=true and continues from the last key). Default 4096.
 	MaxScanResults int
+	// Repl, when set, serves REPLSYNC streams from this primary-side
+	// shipper. The caller owns its lifecycle and must have wired it to the
+	// engine's commit hook.
+	Repl *replica.Primary
+	// Follower, when set, is this server's replication loop pulling from a
+	// primary; its status appears in STATS//metrics. The caller owns its
+	// lifecycle.
+	Follower *replica.Follower
+	// ReadOnly rejects PUT/DELETE/BATCH — the posture of a follower, whose
+	// only writer is the replication stream applying below the protocol.
+	ReadOnly bool
+	// CheckpointDir, when non-empty, enables the CHECKPOINT opcode:
+	// checkpoint names resolve to subdirectories of it.
+	CheckpointDir string
 	// Logf receives server event logs when set.
 	Logf func(format string, args ...any)
 }
@@ -133,7 +173,11 @@ type Server struct {
 	// than one shard, and routes point writes and splits batches.
 	committers []*committer
 	sharded    ShardedEngine // nil for single-shard engines
-	bucket     *TokenBucket  // nil when unlimited
+	// Optional engine capabilities, nil when cfg.DB lacks them.
+	seqEng    SeqEngine
+	ckptEng   CheckpointEngine
+	merkleEng MerkleEngine
+	bucket    *TokenBucket // nil when unlimited
 	// events records serving-layer incidents (sheds, rejected
 	// connections, drain); engine events live in the engine's own ring.
 	events *iostat.EventLog
@@ -158,20 +202,35 @@ func New(cfg Config) (*Server, error) {
 		events:  iostat.NewEventLog(0),
 		conns:   make(map[*conn]struct{}),
 	}
+	if sq, ok := cfg.DB.(SeqEngine); ok {
+		s.seqEng = sq
+	}
+	if ce, ok := cfg.DB.(CheckpointEngine); ok {
+		s.ckptEng = ce
+	}
+	if me, ok := cfg.DB.(MerkleEngine); ok {
+		s.merkleEng = me
+	}
 	if se, ok := cfg.DB.(ShardedEngine); ok && se.NumShards() > 1 {
 		s.sharded = se
 		for i := 0; i < se.NumShards(); i++ {
 			i := i
-			s.committers = append(s.committers, newCommitter(
+			c := newCommitter(
 				func(ops []core.BatchOp, sync bool) error {
 					return se.ApplyShardBatch(i, ops, sync)
 				},
-				cfg.MaxCommitOps, cfg.SyncWrites, s.metrics))
+				cfg.MaxCommitOps, cfg.SyncWrites, s.metrics)
+			if s.seqEng != nil {
+				c.lastSeq = func() uint64 { return s.seqEng.LastSeqs()[i] }
+			}
+			s.committers = append(s.committers, c)
 		}
 	} else {
-		s.committers = []*committer{
-			newCommitter(cfg.DB.ApplyBatch, cfg.MaxCommitOps, cfg.SyncWrites, s.metrics),
+		c := newCommitter(cfg.DB.ApplyBatch, cfg.MaxCommitOps, cfg.SyncWrites, s.metrics)
+		if s.seqEng != nil {
+			c.lastSeq = func() uint64 { return s.seqEng.LastSeqs()[0] }
 		}
+		s.committers = []*committer{c}
 	}
 	if cfg.RatePerSec > 0 {
 		s.bucket = NewTokenBucket(cfg.RatePerSec, cfg.Burst)

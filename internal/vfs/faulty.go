@@ -29,6 +29,7 @@ const (
 	OpWrite
 	OpWriteAt
 	OpSync
+	OpLink
 )
 
 // Rule describes one injected fault: fail (or silently drop) the Nth
@@ -225,6 +226,22 @@ func (f *Faulty) Rename(oldname, newname string) error {
 		return r.err()
 	}
 	return f.inner.Rename(oldname, newname)
+}
+
+// Link passes through to the inner filesystem's hard-link support (with
+// fault injection); inner filesystems without it get ErrNoHardLinks so
+// callers take their copy fallback.
+func (f *Faulty) Link(oldname, newname string) error {
+	l, ok := f.inner.(Linker)
+	if !ok {
+		return ErrNoHardLinks
+	}
+	if r, err := f.check(OpLink, newname); err != nil {
+		return err
+	} else if r != nil {
+		return r.err()
+	}
+	return l.Link(oldname, newname)
 }
 
 func (f *Faulty) MkdirAll(dir string) error {

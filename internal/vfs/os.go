@@ -32,3 +32,5 @@ func (OS) List(dir string) ([]string, error) {
 }
 
 func (OS) Stat(name string) (os.FileInfo, error) { return os.Stat(name) }
+
+func (OS) Link(oldname, newname string) error { return os.Link(oldname, newname) }

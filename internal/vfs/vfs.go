@@ -8,6 +8,7 @@
 package vfs
 
 import (
+	"errors"
 	"io"
 	"os"
 )
@@ -50,6 +51,18 @@ type FS interface {
 	// matching os.IsNotExist.
 	Stat(name string) (os.FileInfo, error)
 }
+
+// Linker is an optional FS capability: create newname as a hard link to
+// oldname. Checkpointing uses it to reference immutable sstables without
+// copying their bytes; callers fall back to a byte copy when the FS does
+// not implement it (or when Link returns any error).
+type Linker interface {
+	Link(oldname, newname string) error
+}
+
+// ErrNoHardLinks is returned by Link on filesystems without hard-link
+// support.
+var ErrNoHardLinks = errors.New("vfs: filesystem does not support hard links")
 
 // Default is the FS used when none is configured: the real filesystem.
 var Default FS = OS{}

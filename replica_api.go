@@ -1,0 +1,72 @@
+// replica_api.go: the public replication and online-backup surface —
+// checkpoints, the commit stream, replicated applies, sequence waiting,
+// and Merkle verification. See internal/replica for the subsystem and
+// OPERATIONS.md for the runbook.
+package lsmkv
+
+import (
+	"time"
+
+	"lsmkv/internal/checkpoint"
+	"lsmkv/internal/replica"
+	"lsmkv/internal/shard"
+)
+
+// CheckpointInfo is the durable record of a completed checkpoint.
+type CheckpointInfo = checkpoint.Marker
+
+// MerkleTree is a Merkle summary of the database's logical content at a
+// sequence vector.
+type MerkleTree = replica.Tree
+
+// CommitHook observes every committed write batch (shard, first
+// sequence number, op count, logical WAL payload). It runs under the
+// engine lock: copy the payload if retaining it, return quickly.
+type CommitHook = shard.CommitHook
+
+// Checkpoint copies a manifest-consistent file set into dstDir without
+// pausing writes and commits it with a durable marker; the directory
+// then opens as a normal database (online backup, follower bootstrap).
+// Sstables are hard-linked when the filesystem supports it.
+func (db *DB) Checkpoint(dstDir string) (CheckpointInfo, error) {
+	return db.inner.Checkpoint(dstDir)
+}
+
+// LastSeqs returns the per-shard applied sequence watermarks: writes
+// acked at (shard, seq) are visible once LastSeqs()[shard] >= seq.
+func (db *DB) LastSeqs() []uint64 { return db.inner.LastSeqs() }
+
+// WaitForSeq blocks until shard's watermark reaches seq, the timeout
+// elapses, or the database closes — the read-your-writes primitive for
+// replica reads.
+func (db *DB) WaitForSeq(shard int, seq uint64, timeout time.Duration) error {
+	return db.inner.WaitForSeq(shard, seq, timeout)
+}
+
+// ApplyReplicated applies one replicated WAL record to shard,
+// preserving its original sequence numbers; idempotent at or below the
+// watermark. Followers apply the primary's commit stream with it.
+func (db *DB) ApplyReplicated(shard int, payload []byte) (uint64, error) {
+	return db.inner.ApplyReplicated(shard, payload)
+}
+
+// SetCommitHook installs fn as the commit-stream observer (nil
+// detaches); the replication primary feeds its backlogs from it.
+func (db *DB) SetCommitHook(fn CommitHook) { db.inner.SetCommitHook(fn) }
+
+// MerkleAt summarizes the database's logical content at the given
+// per-shard sequence vector (nil means the current watermarks). Equal
+// trees at equal vectors mean primary and follower hold identical data.
+func (db *DB) MerkleAt(buckets int, seqs []uint64) (*MerkleTree, error) {
+	if seqs == nil {
+		seqs = db.inner.LastSeqs()
+	}
+	snap, err := db.inner.SnapshotAt(seqs)
+	if err != nil {
+		return nil, err
+	}
+	defer snap.Release()
+	return replica.BuildTree(buckets, seqs, func(fn func(key, value []byte) bool) error {
+		return snap.Scan(nil, nil, fn)
+	})
+}
