@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race crash bench bench-server bench-stall bench-shards bench-replica experiments examples fuzz serve clean cover fmt-check doc-check
+.PHONY: all build test race crash bench bench-server bench-stall bench-shards bench-replica bench-tune experiments examples fuzz serve clean cover fmt-check doc-check doc-links
 
 all: build test
 
@@ -11,10 +11,11 @@ build:
 	$(GO) build ./...
 	$(GO) vet ./...
 
-test: fmt-check doc-check
+test: fmt-check doc-check doc-links
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/server/ ./internal/client/ ./internal/shard/
+	$(GO) test -race ./internal/server/ ./internal/client/ ./internal/shard/ ./internal/tuner/
+	$(GO) test -race ./internal/core/ -run 'TestRetune'
 	$(MAKE) crash
 
 # gofmt is the only accepted formatting; -l lists offenders and the grep
@@ -35,13 +36,29 @@ doc-check:
 		if [ $$ok -eq 0 ]; then echo "missing package doc comment: $$d"; fail=1; fi; \
 	done; exit $$fail
 
+# Documentation cross-checks: every .md cross-reference must resolve to a
+# real file, and every flag OPERATIONS.md names must exist in the shipped
+# binaries' -help output (the binaries are built and their help captured,
+# so a renamed flag fails the build).
+doc-links:
+	@tmp=$$(mktemp -d); trap "rm -rf $$tmp" EXIT; \
+	for c in lsmserver lsmctl lsmtune; do \
+		$(GO) build -o $$tmp/$$c ./cmd/$$c || exit 1; \
+		$$tmp/$$c -h 2>$$tmp/$$c.help || true; \
+	done; \
+	$(GO) run ./cmd/doccheck -root . -ops OPERATIONS.md \
+		$$tmp/lsmserver.help $$tmp/lsmctl.help $$tmp/lsmtune.help \
+		&& echo "doc-links: OK"
+
 # Per-package statement coverage, with floors on the observability,
-# shard-routing, and replication packages: the instruments everything
-# else leans on, the layer that splits the keyspace, and the subsystem
-# that ships data off the box must stay tested.
+# shard-routing, replication, and self-tuning packages: the instruments
+# everything else leans on, the layer that splits the keyspace, the
+# subsystem that ships data off the box, and the controller that moves
+# knobs on a live tree must stay tested.
 IOSTAT_COVER_FLOOR = 90
 SHARD_COVER_FLOOR = 85
 REPLICA_COVER_FLOOR = 85
+TUNER_COVER_FLOOR = 85
 cover:
 	$(GO) test -cover ./...
 	@pct=$$($(GO) test -cover ./internal/iostat/ | \
@@ -59,6 +76,11 @@ cover:
 	echo "internal/replica coverage: $$pct% (floor $(REPLICA_COVER_FLOOR)%)"; \
 	awk "BEGIN{exit !($$pct >= $(REPLICA_COVER_FLOOR))}" || \
 		{ echo "internal/replica coverage below floor"; exit 1; }
+	@pct=$$($(GO) test -cover ./internal/tuner/ | \
+		sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
+	echo "internal/tuner coverage: $$pct% (floor $(TUNER_COVER_FLOOR)%)"; \
+	awk "BEGIN{exit !($$pct >= $(TUNER_COVER_FLOOR))}" || \
+		{ echo "internal/tuner coverage below floor"; exit 1; }
 
 race:
 	$(GO) test -race ./...
@@ -93,6 +115,13 @@ bench-shards:
 # before/after runs accumulate.
 bench-replica:
 	$(GO) run ./cmd/lsmbench -e E16 | tee -a bench_results.txt
+
+# Online self-tuning across a workload shift: static write-tuned vs
+# static read-tuned vs tuner-driven engine, claim-vs-measured rows plus
+# the tuner's decision log (experiment E17). Appends to bench_results.txt
+# so before/after runs accumulate.
+bench-tune:
+	$(GO) run ./cmd/lsmbench -e E17 | tee -a bench_results.txt
 
 # Group-commit microbench: coalesced vs per-op-sync committer over the
 # full network stack (see bench_results.txt for a recorded run).

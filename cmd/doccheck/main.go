@@ -1,0 +1,195 @@
+// Command doccheck keeps the documentation from rotting: it verifies
+// that every cross-reference in the repository's markdown files resolves
+// to a file that exists, and that every command-line flag named in the
+// operations runbook is a flag the binaries actually accept. make test
+// runs it, so a renamed document or a dropped flag fails the build
+// instead of leaving a dangling reference for an operator to trip over.
+//
+// Usage:
+//
+//	doccheck -root . [-ops OPERATIONS.md] [helpfile ...]
+//
+// Two checks run:
+//
+//   - Link check: every inline markdown link pointing at a local path,
+//     and every FILE.md mention in prose, must name a file that exists
+//     (relative to the referencing document, or to the root).
+//   - Flag check: every `-flag` span in -ops must appear in one of the
+//     helpfile arguments — each a captured `-help` output of a shipped
+//     binary (the Makefile builds them and snapshots their help).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io/fs"
+	"net/url"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+var (
+	// inlineLink matches [text](target); target is captured.
+	inlineLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+	// mdMention matches FILE.md-style references in prose or backticks.
+	mdMention = regexp.MustCompile(`[A-Za-z0-9_./-]*[A-Za-z0-9_-]\.md\b`)
+	// codeSpan matches one `...` span within a line; fenced code blocks
+	// are stripped before matching so their odd backtick counts cannot
+	// shift span boundaries.
+	codeSpan = regexp.MustCompile("`([^`\n]+)`")
+	// helpFlag matches a flag definition line in `flag` package -help
+	// output: two leading spaces, then -name.
+	helpFlag = regexp.MustCompile(`(?m)^\s+-([A-Za-z0-9][A-Za-z0-9.-]*)`)
+)
+
+func main() {
+	root := flag.String("root", ".", "repository root to scan for *.md files")
+	ops := flag.String("ops", "", "runbook whose `-flag` mentions must exist in the helpfile args")
+	flag.Parse()
+
+	var problems []string
+	complain := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+
+	checkLinks(*root, complain)
+	if *ops != "" {
+		checkFlags(*ops, flag.Args(), complain)
+	}
+
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "doccheck:", p)
+		}
+		os.Exit(1)
+	}
+}
+
+// checkLinks walks root for markdown files and verifies every local
+// reference in each one.
+func checkLinks(root string, complain func(string, ...any)) {
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			// Skip VCS internals and scratch dirs.
+			switch d.Name() {
+			case ".git", "serve-db":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".md") {
+			return nil
+		}
+		body, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		checkFileRefs(root, path, string(body), complain)
+		return nil
+	})
+	if err != nil {
+		complain("walk %s: %v", root, err)
+	}
+}
+
+// checkFileRefs validates the references of one markdown document.
+func checkFileRefs(root, path, body string, complain func(string, ...any)) {
+	resolves := func(target string) bool {
+		// Relative to the referencing document first, then to the root
+		// (prose mentions like "see TUNING.md" are root-relative by
+		// convention).
+		for _, base := range []string{filepath.Dir(path), root} {
+			if _, err := os.Stat(filepath.Join(base, target)); err == nil {
+				return true
+			}
+		}
+		return false
+	}
+
+	for _, m := range inlineLink.FindAllStringSubmatch(body, -1) {
+		target := m[1]
+		if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+			continue
+		}
+		if u, err := url.Parse(target); err == nil {
+			target = u.Path // strip #anchor and ?query
+		}
+		if target == "" {
+			continue
+		}
+		if !resolves(target) {
+			complain("%s: broken link (%s)", path, m[1])
+		}
+	}
+	for _, target := range mdMention.FindAllString(body, -1) {
+		if !resolves(target) {
+			complain("%s: reference to missing document %s", path, target)
+		}
+	}
+}
+
+// stripFences removes ``` fenced code blocks (example transcripts quote
+// flags of commands we don't ship, and fence backticks would desync the
+// span matcher).
+func stripFences(body string) string {
+	var out []string
+	inFence := false
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if !inFence {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}
+
+// checkFlags verifies that every `-flag` code span in the runbook names
+// a flag some shipped binary's -help output defines.
+func checkFlags(opsPath string, helpFiles []string, complain func(string, ...any)) {
+	// The flag package answers -h/-help without listing them.
+	known := map[string]bool{"h": true, "help": true}
+	for _, hf := range helpFiles {
+		body, err := os.ReadFile(hf)
+		if err != nil {
+			complain("read help file: %v", err)
+			return
+		}
+		for _, m := range helpFlag.FindAllStringSubmatch(string(body), -1) {
+			known[m[1]] = true
+		}
+	}
+	if len(known) == 0 {
+		complain("no flags parsed from help files %v", helpFiles)
+		return
+	}
+
+	body, err := os.ReadFile(opsPath)
+	if err != nil {
+		complain("read %s: %v", opsPath, err)
+		return
+	}
+	for _, m := range codeSpan.FindAllStringSubmatch(stripFences(string(body)), -1) {
+		span := strings.TrimSpace(m[1])
+		if !strings.HasPrefix(span, "-") {
+			continue
+		}
+		// A span may carry an example value ("-db /path"); the flag is
+		// the first token. Spans like "-crash.iters=100" split at "=".
+		name := strings.TrimPrefix(strings.Fields(span)[0], "-")
+		name = strings.SplitN(name, "=", 2)[0]
+		if name == "" {
+			continue
+		}
+		if !known[name] {
+			complain("%s: flag `-%s` not in any binary's -help output", opsPath, name)
+		}
+	}
+}

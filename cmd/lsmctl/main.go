@@ -13,6 +13,8 @@
 //	lsmctl -db /path stats -events    # append the engine's event log
 //	lsmctl -db /path compact
 //	lsmctl -db /path fill <n>         # load n synthetic entries
+//	lsmctl -db /path tune status      # self-tuner state (embedded: not running)
+//	lsmctl -db /path tune events      # tuner decisions from the event log
 //
 // Network usage (speaks the binary protocol to a running lsmserver):
 //
@@ -25,6 +27,8 @@
 //	lsmctl -addr host:4440 stats -events
 //	lsmctl -addr host:4440 ping
 //	lsmctl -addr host:4440 fill <n>   # load n entries via BATCH frames
+//	lsmctl -addr host:4440 tune status  # per-shard self-tuner status
+//	lsmctl -addr host:4440 tune events  # tuner decisions from the event ring
 //
 // Replication and backup (against servers started with -checkpoint-dir
 // or -follow; see OPERATIONS.md):
@@ -227,8 +231,70 @@ func run(db *lsmkv.DB, args []string) error {
 		}
 		fmt.Printf("collected=%v\n", collected)
 		return nil
+	case "tune":
+		if err := need(1); err != nil {
+			return err
+		}
+		switch rest[0] {
+		case "status":
+			sts := db.TunerStatus()
+			if len(sts) == 0 {
+				fmt.Println("(tuner not running — open with Options.AutoTune, or query a server started with -tune via -addr)")
+				return nil
+			}
+			printTunerStatus(sts)
+			return nil
+		case "events":
+			printTuneEvents("engine", db.Events())
+			return nil
+		default:
+			return fmt.Errorf("tune expects status|events, got %q", rest[0])
+		}
 	default:
-		return fmt.Errorf("unknown command %q (put|get|delete|scan|trace|stats|compact|fill|gc)", cmd)
+		return fmt.Errorf("unknown command %q (put|get|delete|scan|trace|stats|compact|fill|gc|tune)", cmd)
+	}
+}
+
+// printTunerStatus renders per-shard tuner status rows: knob set, target
+// design, last signals, and the applied-move history.
+func printTunerStatus(sts []lsmkv.TunerStatus) {
+	for _, st := range sts {
+		state := "running"
+		if !st.Running {
+			state = "stopped"
+		}
+		if st.Frozen {
+			state += " (frozen)"
+		}
+		fmt.Printf("shard %d: %s  interval=%s cooldown=%s  samples=%d moves=%d\n",
+			st.Shard, state, st.Interval, st.Cooldown, st.Samples, st.Moves)
+		c := st.Current
+		fmt.Printf("  knobs: T=%d K=%d Z=%d bits/key=%.1f l0-slowdown=%d l0-stop=%d max-delay=%s\n",
+			c.SizeRatio, c.K, c.Z, c.FilterBitsPerKey,
+			c.L0SlowdownTrigger, c.L0StopTrigger, c.SlowdownMaxDelay)
+		if st.TargetDesign != "" {
+			fmt.Printf("  steering toward: %s\n", st.TargetDesign)
+		}
+		fmt.Printf("  last signals: %s\n", st.LastSignals)
+		for _, d := range st.Decisions {
+			fmt.Printf("  %s move: %s\n", d.Time.Format("15:04:05"), d.Rationale)
+		}
+	}
+}
+
+// printTuneEvents renders only the tuner's decision trail (tune and
+// retune events) from an event stream.
+func printTuneEvents(prefix string, events []lsmkv.Event) {
+	n := 0
+	for _, e := range events {
+		if e.Type != "tune" && e.Type != "retune" {
+			continue
+		}
+		fmt.Printf("%s  %s\n", prefix, e.String())
+		n++
+	}
+	if n == 0 {
+		fmt.Println("(no tuner events)")
 	}
 }
 
@@ -425,7 +491,43 @@ func runRemote(cl *client.Client, args []string) error {
 		}
 		fmt.Printf("loaded %d entries\n", n)
 		return nil
+	case "tune":
+		if err := need(1); err != nil {
+			return err
+		}
+		body, err := cl.Stats()
+		if err != nil {
+			return err
+		}
+		switch rest[0] {
+		case "status":
+			var payload struct {
+				Tuner []lsmkv.TunerStatus `json:"tuner"`
+			}
+			if err := json.Unmarshal(body, &payload); err != nil {
+				return fmt.Errorf("decode stats: %w", err)
+			}
+			if len(payload.Tuner) == 0 {
+				fmt.Println("(tuner not running — start the server with -tune)")
+				return nil
+			}
+			printTunerStatus(payload.Tuner)
+			return nil
+		case "events":
+			var payload struct {
+				Events struct {
+					Engine []lsmkv.Event `json:"engine"`
+				} `json:"events"`
+			}
+			if err := json.Unmarshal(body, &payload); err != nil {
+				return fmt.Errorf("decode stats: %w", err)
+			}
+			printTuneEvents("engine", payload.Events.Engine)
+			return nil
+		default:
+			return fmt.Errorf("tune expects status|events, got %q", rest[0])
+		}
 	default:
-		return fmt.Errorf("unknown remote command %q (put|get|delete|scan|trace|stats|ping|fill|checkpoint|replstatus|verify-replica)", cmd)
+		return fmt.Errorf("unknown remote command %q (put|get|delete|scan|trace|stats|ping|fill|checkpoint|replstatus|verify-replica|tune)", cmd)
 	}
 }

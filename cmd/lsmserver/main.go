@@ -19,7 +19,14 @@
 //	          [-l0-slowdown 0] [-l0-stop 0]
 //	          [-debug-addr 127.0.0.1:4442] [-track-latency=true]
 //	          [-checkpoint-dir /backups] [-follow primary:4440]
-//	          [-repl-backlog 16777216]
+//	          [-repl-backlog 16777216] [-tune] [-tune-interval 10s]
+//
+// -tune starts the online self-tuner: one controller per shard samples
+// the engine's iostat counters every -tune-interval and adapts the live
+// knobs (leveling/tiering position, filter bits/key, the write-slowdown
+// band) to the observed workload, recording every move in the engine
+// event ring. Inspect it with `lsmctl tune status`; freeze it by
+// restarting without -tune. See TUNING.md.
 //
 // -shards N splits the keyspace across N independent engines (own WAL,
 // memtable, L0, compaction space each); writes group-commit per shard and
@@ -95,6 +102,8 @@ func main() {
 		ckptDir      = flag.String("checkpoint-dir", "", "enable the CHECKPOINT opcode, writing online backups under this directory")
 		follow       = flag.String("follow", "", "run as a read-only follower replicating from the primary at this address")
 		replBacklog  = flag.Int64("repl-backlog", 0, "per-shard replication backlog bytes for serving followers (0 = 16 MiB default)")
+		tune         = flag.Bool("tune", false, "run the online self-tuner (adapts layout, filter, and slowdown knobs to the live workload)")
+		tuneInterval = flag.Duration("tune-interval", 10*time.Second, "self-tuner sampling period")
 		verbose      = flag.Bool("v", false, "log engine and server events")
 	)
 	flag.Parse()
@@ -131,6 +140,8 @@ func main() {
 	opts.CompactionMaxBytesPerSec = *compactRate
 	opts.L0SlowdownTrigger = *l0Slowdown
 	opts.L0StopTrigger = *l0Stop
+	opts.AutoTune = *tune
+	opts.AutoTuneInterval = *tuneInterval
 
 	// A crash mid-CHECKPOINT leaves a markerless (partial) directory
 	// under the checkpoint root; sweep them before serving so operators

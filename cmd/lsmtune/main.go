@@ -8,15 +8,33 @@
 //
 //	lsmtune -writes 0.8 -reads 0.15 -zero 0.05
 //	lsmtune -writes 0.2 -reads 0.6 -zero 0.1 -scans 0.1 -rho 0.5
+//	lsmtune -addr host:4440 -window 10s
+//
+// With -addr the workload mix is not guessed from flags but measured
+// from a running lsmserver: lsmtune fetches the server's STATS counters,
+// waits -window, fetches again, and converts the counter delta into an
+// operation mix through tuner.WorkloadFromDelta — the exact code path
+// the in-process online tuner (lsmserver -tune) prices its decisions
+// with. Offline lsmtune and the online tuner therefore always agree on
+// what a given counter delta "means"; this command is the dry-run view
+// of the move the tuner would make. A zero -window uses the server's
+// cumulative counters since start. The -writes/-reads/-zero/-scans
+// flags are ignored under -addr; the system parameters (-n, -entry,
+// -buffer, -bits) still come from flags.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
+	"lsmkv/internal/client"
 	"lsmkv/internal/cost"
+	"lsmkv/internal/iostat"
+	"lsmkv/internal/tuner"
 )
 
 func main() {
@@ -34,6 +52,8 @@ func main() {
 		rho     = flag.Float64("rho", 0.5, "workload uncertainty radius for robust tuning")
 		maxT    = flag.Int("maxt", 16, "largest size ratio to consider")
 		hybrids = flag.Bool("hybrid", true, "search the full (K,Z) hybrid continuum")
+		addr    = flag.String("addr", "", "measure the workload from a running lsmserver instead of the -writes/-reads/-zero/-scans flags")
+		window  = flag.Duration("window", 10*time.Second, "sampling window for -addr (0 = cumulative counters since server start)")
 	)
 	flag.Parse()
 
@@ -52,6 +72,18 @@ func main() {
 		RangeLookups:     *scans,
 		RangeSelectivity: *sel,
 	}.Normalize()
+	if *addr != "" {
+		delta, err := liveDelta(*addr, *window)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lsmtune:", err)
+			os.Exit(1)
+		}
+		// The same delta->mix conversion the online tuner uses, so both
+		// tools price identical workloads identically.
+		w = tuner.WorkloadFromDelta(delta, 0, *sel)
+		fmt.Printf("measured from %s over %s: %d writes, %d point lookups, %d scans\n",
+			*addr, *window, delta.WriteOps, delta.PointLookups, delta.RangeLookups)
+	}
 	space := cost.CandidateSpace{MinT: 2, MaxT: *maxT, FullHybrid: *hybrids}
 
 	fmt.Printf("workload: writes=%.2f point=%.2f zero=%.2f scans=%.2f (selectivity %.1e)\n",
@@ -96,4 +128,43 @@ func main() {
 			100*(r.NominalWorst-r.RobustWorst)/r.NominalWorst)
 	}
 	os.Exit(0)
+}
+
+// liveDelta samples a running server's engine counters over the window
+// and returns the delta (or the cumulative snapshot when window is 0).
+func liveDelta(addr string, window time.Duration) (iostat.Snapshot, error) {
+	cl, err := client.Dial(addr, nil)
+	if err != nil {
+		return iostat.Snapshot{}, err
+	}
+	defer cl.Close()
+	first, err := liveSnapshot(cl)
+	if err != nil {
+		return iostat.Snapshot{}, err
+	}
+	if window <= 0 {
+		return first, nil
+	}
+	time.Sleep(window)
+	second, err := liveSnapshot(cl)
+	if err != nil {
+		return iostat.Snapshot{}, err
+	}
+	return second.Sub(first), nil
+}
+
+// liveSnapshot fetches one STATS payload and extracts the engine's
+// aggregate counter snapshot.
+func liveSnapshot(cl *client.Client) (iostat.Snapshot, error) {
+	body, err := cl.Stats()
+	if err != nil {
+		return iostat.Snapshot{}, err
+	}
+	var payload struct {
+		Engine iostat.Snapshot `json:"engine"`
+	}
+	if err := json.Unmarshal(body, &payload); err != nil {
+		return iostat.Snapshot{}, fmt.Errorf("decode stats: %w", err)
+	}
+	return payload.Engine, nil
 }

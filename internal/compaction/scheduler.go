@@ -114,6 +114,23 @@ func (s *Scheduler) Done(t *Task) {
 	s.inflight--
 }
 
+// Reshape swaps the scheduler's picker for one planning against shape,
+// so the next planning call sees the new policy. In-flight tasks are
+// unaffected: each carries its own immutable plan, and the claim table
+// (which outlives the picker) keeps new plans disjoint from them. The
+// round-robin fairness cursor resets — acceptable, since reshaping is a
+// rare tuning action, not a steady-state path.
+func (s *Scheduler) Reshape(shape Shape) error {
+	p, err := NewPicker(shape)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.picker = p
+	s.mu.Unlock()
+	return nil
+}
+
 // InFlight returns the number of claimed, unfinished tasks.
 func (s *Scheduler) InFlight() int {
 	s.mu.Lock()

@@ -145,6 +145,7 @@ func (db *DB) ApplyBatch(ops []BatchOp, sync bool) error {
 	db.opts.Stats.BytesWritten.Add(nbytes)
 	db.opts.Stats.BatchCommits.Add(1)
 	db.opts.Stats.BatchedOps.Add(int64(len(entries)))
+	db.opts.Stats.WriteOps.Add(int64(len(entries)))
 	db.notifySeqLocked()
 
 	if db.mem.ApproxSize() >= db.opts.MemtableBytes {

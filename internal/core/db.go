@@ -343,6 +343,7 @@ func (db *DB) write(kind kv.Kind, key, value []byte) error {
 	}
 	db.mem.Add(kv.Entry{Key: kv.MakeInternalKey(key, seq, storedKind), Value: storedValue})
 	db.opts.Stats.BytesWritten.Add(int64(len(key) + len(storedValue)))
+	db.opts.Stats.WriteOps.Add(1)
 	db.notifySeqLocked()
 
 	if db.mem.ApproxSize() >= db.opts.MemtableBytes {

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"lsmkv/internal/compaction"
+	"lsmkv/internal/filter"
+	"lsmkv/internal/iostat"
+)
+
+// Tunables is the subset of Options that may change while the engine is
+// running — the knobs the online tuner (internal/tuner) and operators
+// move. Everything else in Options is fixed at Open: either it names
+// on-disk state (Dir, FS, WAL mode), or live mutation would invalidate
+// structures already built against it (block size, learned indexes,
+// MaxLevels — the version builder sizes level slices from it).
+//
+// In Retune, zero (or negative) fields mean "keep the current value", so
+// a caller may set just the knob it cares about. The intended pattern is
+// still read-modify-write: take DB.Tunables(), adjust, pass it back.
+type Tunables struct {
+	// SizeRatio, K, Z position the tree on the leveling/tiering/
+	// lazy-leveling continuum (Dostoevsky's T/K/Z). Changes apply at the
+	// next compaction decision: the picker plans against the new shape,
+	// and data migrates as compactions rewrite it — never eagerly.
+	SizeRatio int
+	K         int
+	Z         int
+	// FilterBitsPerKey is the average filter budget. Under MonkeyFilters
+	// the per-level allocation is recomputed immediately, but individual
+	// sstables only pick the new budget up as compaction rewrites them.
+	FilterBitsPerKey float64
+	// L0CompactionTrigger is the L0 run count that makes the picker drain
+	// level 0 (Shape.L0Trigger). Every L0 run joins every lookup and scan,
+	// so this is a read knob as much as a write one: lowering it trades
+	// compaction work for a shallower L0. The stop trigger is re-clamped
+	// above it.
+	L0CompactionTrigger int
+	// L0SlowdownTrigger / L0StopTrigger / SlowdownMaxDelay /
+	// PendingCompactionSlowdownBytes set the graduated write-backpressure
+	// band (see TUNING.md); these take effect on the very next write.
+	L0SlowdownTrigger              int
+	L0StopTrigger                  int
+	SlowdownMaxDelay               time.Duration
+	PendingCompactionSlowdownBytes int64
+}
+
+// Tunables returns the engine's current live-tunable knob values.
+func (db *DB) Tunables() Tunables {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return Tunables{
+		SizeRatio:                      db.opts.Shape.SizeRatio,
+		K:                              db.opts.Shape.K,
+		Z:                              db.opts.Shape.Z,
+		FilterBitsPerKey:               db.opts.FilterPolicy.BitsPerKey,
+		L0CompactionTrigger:            db.opts.Shape.L0Trigger,
+		L0SlowdownTrigger:              db.opts.L0SlowdownTrigger,
+		L0StopTrigger:                  db.opts.L0StopTrigger,
+		SlowdownMaxDelay:               db.opts.SlowdownMaxDelay,
+		PendingCompactionSlowdownBytes: db.opts.PendingCompactionSlowdownBytes,
+	}
+}
+
+// Retune applies t's non-zero knobs to the running engine and records an
+// EventRetune naming exactly what changed. It is the single mutation
+// point for every knob read outside Open, so the consistency argument
+// lives here:
+//
+//   - Shape changes swap the scheduler's picker under the scheduler lock;
+//     in-flight compactions carry immutable Task plans and are untouched,
+//     while the next planning call sees the new policy.
+//   - Every other read of these knobs (backpressure triggers, level
+//     capacities for the debt gauge, Monkey budgets) happens under db.mu,
+//     which Retune holds for the whole update — no reader can observe a
+//     half-applied knob set.
+//   - The Monkey allocation and the debt gauge are recomputed before the
+//     lock is released, so the next write and the next filter build both
+//     price against the new design point.
+//
+// Clamping mirrors Options.withDefaults: the stop trigger stays above the
+// L0 compaction trigger (including a just-raised one) and the slowdown
+// trigger stays below the stop. Moving K above 1 while the shape uses
+// single-file granularity flips it to whole-level (single-file planning
+// requires K=1). Retune never changes BaseBytes or MaxLevels.
+func (db *DB) Retune(t Tunables) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+
+	cur := db.opts
+	shape := cur.Shape
+	if t.SizeRatio > 0 {
+		shape.SizeRatio = t.SizeRatio
+	}
+	if t.K > 0 {
+		shape.K = t.K
+	}
+	if t.Z > 0 {
+		shape.Z = t.Z
+	}
+	if t.L0CompactionTrigger > 0 {
+		shape.L0Trigger = t.L0CompactionTrigger
+	}
+	if shape.K > 1 && shape.Granularity == compaction.SingleFile {
+		shape.Granularity = compaction.WholeLevel
+	}
+	if err := shape.Validate(); err != nil {
+		return fmt.Errorf("core: retune: %w", err)
+	}
+
+	bits := cur.FilterPolicy.BitsPerKey
+	if t.FilterBitsPerKey > 0 && cur.FilterPolicy.Kind != filter.KindNone {
+		bits = t.FilterBitsPerKey
+	}
+	stop := cur.L0StopTrigger
+	if t.L0StopTrigger > 0 {
+		stop = t.L0StopTrigger
+	}
+	if stop <= shape.L0Trigger {
+		stop = shape.L0Trigger + 1
+	}
+	slow := cur.L0SlowdownTrigger
+	if t.L0SlowdownTrigger > 0 {
+		slow = t.L0SlowdownTrigger
+	}
+	if slow >= stop {
+		slow = stop - 1
+	}
+	if slow < 1 {
+		slow = 1
+	}
+	maxDelay := cur.SlowdownMaxDelay
+	if t.SlowdownMaxDelay > 0 {
+		maxDelay = t.SlowdownMaxDelay
+	}
+	debtLimit := cur.PendingCompactionSlowdownBytes
+	if t.PendingCompactionSlowdownBytes > 0 {
+		debtLimit = t.PendingCompactionSlowdownBytes
+	}
+
+	var changes []string
+	diff := func(name string, from, to any) {
+		if from != to {
+			changes = append(changes, fmt.Sprintf("%s %v->%v", name, from, to))
+		}
+	}
+	diff("T", cur.Shape.SizeRatio, shape.SizeRatio)
+	diff("K", cur.Shape.K, shape.K)
+	diff("Z", cur.Shape.Z, shape.Z)
+	diff("granularity", cur.Shape.Granularity.String(), shape.Granularity.String())
+	diff("l0-trigger", cur.Shape.L0Trigger, shape.L0Trigger)
+	diff("bits/key", cur.FilterPolicy.BitsPerKey, bits)
+	diff("l0-slowdown", cur.L0SlowdownTrigger, slow)
+	diff("l0-stop", cur.L0StopTrigger, stop)
+	diff("slowdown-max-delay", cur.SlowdownMaxDelay, maxDelay)
+	diff("debt-limit", cur.PendingCompactionSlowdownBytes, debtLimit)
+	if len(changes) == 0 {
+		return nil
+	}
+
+	if shape != cur.Shape {
+		if err := db.sched.Reshape(shape); err != nil {
+			return fmt.Errorf("core: retune: %w", err)
+		}
+	}
+	db.opts.Shape = shape
+	db.opts.FilterPolicy.BitsPerKey = bits
+	db.opts.L0SlowdownTrigger = slow
+	db.opts.L0StopTrigger = stop
+	db.opts.SlowdownMaxDelay = maxDelay
+	db.opts.PendingCompactionSlowdownBytes = debtLimit
+
+	// Reprice the tree against the new design point before anyone can
+	// read it: level capacities feed the debt gauge, the filter budget
+	// feeds the Monkey allocation.
+	db.refreshDebtLocked()
+	db.refreshMonkeyLocked()
+
+	db.events.Add(iostat.Event{
+		Type: iostat.EventRetune, FromLevel: -1, ToLevel: -1,
+		Detail: strings.Join(changes, " "),
+	})
+	db.opts.Logf("core: retune: %s", strings.Join(changes, " "))
+
+	// The new shape may create compaction work (smaller capacities) or
+	// unblock stalled writers (higher stop trigger) — wake both sides.
+	db.bgCond.Broadcast()
+	db.cond.Broadcast()
+	return nil
+}
+
+// TuningProfile summarizes the engine's data volume for the analytical
+// cost model — the System half of a cost.Model whose Workload half comes
+// from iostat deltas. Read it alongside Tunables() to reconstruct the
+// engine's full current design point.
+type TuningProfile struct {
+	// Entries and DiskBytes total the live sstables across all levels
+	// (Entries counts stored keys, including tombstones and duplicates
+	// not yet merged away).
+	Entries   int64
+	DiskBytes int64
+	// MemtableBytes is the configured write-buffer capacity.
+	MemtableBytes int64
+	// BlockSize is the configured data-block size (the cost model's page).
+	BlockSize int
+	// MonkeyFilters reports whether the filter budget is Monkey-allocated.
+	MonkeyFilters bool
+}
+
+// TuningProfile returns the current data-volume summary for cost
+// modeling.
+func (db *DB) TuningProfile() TuningProfile {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	p := TuningProfile{
+		MemtableBytes: db.opts.MemtableBytes,
+		BlockSize:     db.opts.BlockSize,
+		MonkeyFilters: db.opts.MonkeyFilters,
+	}
+	if db.current == nil {
+		return p
+	}
+	for _, level := range db.current.levels {
+		for _, r := range level {
+			for _, t := range r.tables {
+				p.Entries += int64(t.meta.Entries)
+				p.DiskBytes += int64(t.meta.Size)
+			}
+		}
+	}
+	return p
+}

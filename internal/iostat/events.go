@@ -44,6 +44,14 @@ const (
 	// retries with backoff).
 	EventReplConnect    EventType = "repl-connect"
 	EventReplDisconnect EventType = "repl-disconnect"
+	// EventTune is one online-tuner decision: Detail carries the sampled
+	// signal snapshot, the knob delta, and the rationale, so the event
+	// log alone reconstructs why the engine moved (see TUNING.md).
+	EventTune EventType = "tune"
+	// EventRetune is the engine applying a live knob change through
+	// core.DB.Retune (whether the tuner or an operator asked for it);
+	// Detail lists exactly which knobs changed and to what.
+	EventRetune EventType = "retune"
 )
 
 // Event is one recorded lifecycle event. FromLevel/ToLevel are -1 when

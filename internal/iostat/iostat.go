@@ -66,6 +66,10 @@ type Stats struct {
 	// PointLookups and RangeLookups count client operations.
 	PointLookups atomic.Int64
 	RangeLookups atomic.Int64
+	// WriteOps counts logical client write operations (every Put, Delete,
+	// and batched op), independent of WAL batching — the write half of the
+	// read/write mix the online tuner samples.
+	WriteOps atomic.Int64
 	// VlogReads counts extra value-log hops under key-value separation.
 	VlogReads atomic.Int64
 	// WALRecords counts records appended to the write-ahead log; WALSyncs
@@ -124,6 +128,7 @@ type Snapshot struct {
 	RunsProbed             int64
 	PointLookups           int64
 	RangeLookups           int64
+	WriteOps               int64
 	VlogReads              int64
 	WALRecords             int64
 	WALSyncs               int64
@@ -161,6 +166,7 @@ func (s *Stats) Snapshot() Snapshot {
 		RunsProbed:             s.RunsProbed.Load(),
 		PointLookups:           s.PointLookups.Load(),
 		RangeLookups:           s.RangeLookups.Load(),
+		WriteOps:               s.WriteOps.Load(),
 		VlogReads:              s.VlogReads.Load(),
 		WALRecords:             s.WALRecords.Load(),
 		WALSyncs:               s.WALSyncs.Load(),
@@ -200,6 +206,7 @@ func (s Snapshot) Add(t Snapshot) Snapshot {
 		RunsProbed:             s.RunsProbed + t.RunsProbed,
 		PointLookups:           s.PointLookups + t.PointLookups,
 		RangeLookups:           s.RangeLookups + t.RangeLookups,
+		WriteOps:               s.WriteOps + t.WriteOps,
 		VlogReads:              s.VlogReads + t.VlogReads,
 		WALRecords:             s.WALRecords + t.WALRecords,
 		WALSyncs:               s.WALSyncs + t.WALSyncs,
@@ -238,6 +245,7 @@ func (s Snapshot) Sub(t Snapshot) Snapshot {
 		RunsProbed:             s.RunsProbed - t.RunsProbed,
 		PointLookups:           s.PointLookups - t.PointLookups,
 		RangeLookups:           s.RangeLookups - t.RangeLookups,
+		WriteOps:               s.WriteOps - t.WriteOps,
 		VlogReads:              s.VlogReads - t.VlogReads,
 		WALRecords:             s.WALRecords - t.WALRecords,
 		WALSyncs:               s.WALSyncs - t.WALSyncs,

@@ -8,6 +8,7 @@ import (
 
 	"lsmkv/internal/iostat"
 	"lsmkv/internal/replica"
+	"lsmkv/internal/tuner"
 )
 
 // commitHistBuckets sizes the commit-batch histogram: bucket i counts
@@ -197,6 +198,11 @@ type metricsPayload struct {
 	// ReplPrimary is the primary-side shipper's status (set only when
 	// replication serving is enabled): live streams, backlog, floors.
 	ReplPrimary *replica.PrimaryStatus `json:"repl_primary,omitempty"`
+	// Tuner carries each shard tuner's status when the engine's online
+	// self-tuner is running: the live knob set, the design point it is
+	// steering toward, the latest signal sample, and its recent applied
+	// moves (see TUNING.md and `lsmctl tune status`).
+	Tuner []tuner.Status `json:"tuner,omitempty"`
 	// Events holds both bounded event rings, oldest first. Against a
 	// sharded engine every engine event carries the shard that recorded
 	// it.
@@ -226,6 +232,9 @@ func (s *Server) payload() metricsPayload {
 	if s.cfg.Repl != nil {
 		st := s.cfg.Repl.Status()
 		p.ReplPrimary = &st
+	}
+	if s.tunerEng != nil {
+		p.Tuner = s.tunerEng.TunerStatus()
 	}
 	return p
 }

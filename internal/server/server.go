@@ -12,6 +12,7 @@ import (
 	"lsmkv/internal/core"
 	"lsmkv/internal/iostat"
 	"lsmkv/internal/replica"
+	"lsmkv/internal/tuner"
 )
 
 // Engine is the storage surface the server fronts. Both *core.DB and the
@@ -73,6 +74,15 @@ type CheckpointEngine interface {
 // their logical content for divergence checks (the MERKLE opcode).
 type MerkleEngine interface {
 	MerkleAt(buckets int, seqs []uint64) (*replica.Tree, error)
+}
+
+// TunerEngine is the optional interface for engines running the online
+// self-tuner (the public *lsmkv.DB). It surfaces per-shard tuner status
+// in STATS//metrics and powers `lsmctl tune status`.
+type TunerEngine interface {
+	// TunerStatus returns one status per shard tuner; nil when the tuner
+	// is not running.
+	TunerStatus() []tuner.Status
 }
 
 // Config parameterizes a Server. The zero value of every field except DB
@@ -177,6 +187,7 @@ type Server struct {
 	seqEng    SeqEngine
 	ckptEng   CheckpointEngine
 	merkleEng MerkleEngine
+	tunerEng  TunerEngine
 	bucket    *TokenBucket // nil when unlimited
 	// events records serving-layer incidents (sheds, rejected
 	// connections, drain); engine events live in the engine's own ring.
@@ -210,6 +221,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if me, ok := cfg.DB.(MerkleEngine); ok {
 		s.merkleEng = me
+	}
+	if te, ok := cfg.DB.(TunerEngine); ok {
+		s.tunerEng = te
 	}
 	if se, ok := cfg.DB.(ShardedEngine); ok && se.NumShards() > 1 {
 		s.sharded = se

@@ -30,6 +30,7 @@ import (
 
 	"lsmkv/internal/core"
 	"lsmkv/internal/iostat"
+	"lsmkv/internal/tuner"
 	"lsmkv/internal/vfs"
 )
 
@@ -63,6 +64,9 @@ type DB struct {
 
 	mu     sync.Mutex
 	closed bool
+	// tuners holds the per-shard online tuners while StartTuning is
+	// active (see tune.go); nil otherwise.
+	tuners []*tuner.Tuner
 }
 
 // Open opens (creating if necessary) a database at opts.Dir with the
@@ -324,7 +328,12 @@ func (db *DB) Close() error {
 		return nil
 	}
 	db.closed = true
+	tuners := db.tuners
+	db.tuners = nil
 	db.mu.Unlock()
+	for _, t := range tuners {
+		t.Stop()
+	}
 	var firstErr error
 	for _, eng := range db.engines {
 		if err := eng.Close(); err != nil && firstErr == nil {

@@ -1,0 +1,69 @@
+package shard
+
+import (
+	"lsmkv/internal/tuner"
+)
+
+// StartTuning launches one online tuner per shard engine, each sampling
+// its own counters and moving its own knobs (shards see different key
+// subsets of the same workload, so they converge to the same design
+// point; per-shard loops keep the no-cross-shard-coupling invariant).
+// cfg.Shard is overwritten with each engine's index so status rows and
+// tuner events identify their shard. Idempotent while running.
+func (db *DB) StartTuning(cfg tuner.Config) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed || len(db.tuners) > 0 {
+		return
+	}
+	db.tuners = make([]*tuner.Tuner, db.n)
+	for i, eng := range db.engines {
+		c := cfg
+		c.Shard = i
+		db.tuners[i] = tuner.New(eng, c)
+		db.tuners[i].Start()
+	}
+}
+
+// StopTuning halts every shard tuner (no-op when none are running). The
+// engines keep whatever knob values the tuners last applied.
+func (db *DB) StopTuning() {
+	db.mu.Lock()
+	tuners := db.tuners
+	db.tuners = nil
+	db.mu.Unlock()
+	for _, t := range tuners {
+		t.Stop()
+	}
+}
+
+// FreezeTuning holds (frozen=true) or releases (frozen=false) every shard
+// tuner: frozen tuners keep sampling and reporting but apply no moves.
+func (db *DB) FreezeTuning(frozen bool) {
+	db.mu.Lock()
+	tuners := db.tuners
+	db.mu.Unlock()
+	for _, t := range tuners {
+		if frozen {
+			t.Freeze()
+		} else {
+			t.Thaw()
+		}
+	}
+}
+
+// TunerStatus returns one status per shard tuner, indexed by shard; nil
+// when tuning is not running.
+func (db *DB) TunerStatus() []tuner.Status {
+	db.mu.Lock()
+	tuners := db.tuners
+	db.mu.Unlock()
+	if len(tuners) == 0 {
+		return nil
+	}
+	out := make([]tuner.Status, len(tuners))
+	for i, t := range tuners {
+		out[i] = t.Status()
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package shard
+
+import (
+	"testing"
+	"time"
+
+	"lsmkv/internal/tuner"
+	"lsmkv/internal/vfs"
+)
+
+// TestPerShardTuning exercises the per-shard tuner wiring: one tuner per
+// engine, each tagged with its shard index, freeze/thaw fan-out, and a
+// clean stop that leaves the engines usable.
+func TestPerShardTuning(t *testing.T) {
+	fs := vfs.NewMem()
+	db := openShards(t, fs, "db", 3)
+	defer db.Close()
+
+	if got := db.TunerStatus(); got != nil {
+		t.Fatalf("TunerStatus before StartTuning = %v, want nil", got)
+	}
+	db.FreezeTuning(true) // no-op without tuners
+	db.StopTuning()       // ditto
+
+	cfg := tuner.Config{Interval: time.Hour} // never fires during the test
+	db.StartTuning(cfg)
+	db.StartTuning(cfg) // idempotent while running
+
+	sts := db.TunerStatus()
+	if len(sts) != 3 {
+		t.Fatalf("TunerStatus returned %d entries, want 3", len(sts))
+	}
+	for i, st := range sts {
+		if st.Shard != i {
+			t.Fatalf("status[%d].Shard = %d, want %d", i, st.Shard, i)
+		}
+		if !st.Running {
+			t.Fatalf("status[%d] not running", i)
+		}
+		if st.Frozen {
+			t.Fatalf("status[%d] frozen before FreezeTuning", i)
+		}
+	}
+
+	db.FreezeTuning(true)
+	for i, st := range db.TunerStatus() {
+		if !st.Frozen {
+			t.Fatalf("status[%d] not frozen after FreezeTuning(true)", i)
+		}
+	}
+	db.FreezeTuning(false)
+	for i, st := range db.TunerStatus() {
+		if st.Frozen {
+			t.Fatalf("status[%d] still frozen after FreezeTuning(false)", i)
+		}
+	}
+
+	db.StopTuning()
+	if got := db.TunerStatus(); got != nil {
+		t.Fatalf("TunerStatus after StopTuning = %v, want nil", got)
+	}
+	// The engines are still live after the tuners detach.
+	if err := db.Put(tkey(1), tval(1)); err != nil {
+		t.Fatal(err)
+	}
+	// A restart after a stop builds a fresh tuner set.
+	db.StartTuning(cfg)
+	if got := len(db.TunerStatus()); got != 3 {
+		t.Fatalf("restarted tuner count = %d, want 3", got)
+	}
+	db.StopTuning()
+}
+
+// TestStartTuningAfterCloseIsNoop pins the closed-DB guard: no tuners
+// are created once the sharded engine is closed.
+func TestStartTuningAfterCloseIsNoop(t *testing.T) {
+	fs := vfs.NewMem()
+	db := openShards(t, fs, "db", 2)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db.StartTuning(tuner.Config{Interval: time.Hour})
+	if got := db.TunerStatus(); got != nil {
+		t.Fatalf("TunerStatus after Close+StartTuning = %v, want nil", got)
+	}
+}

@@ -1,0 +1,63 @@
+package tuner
+
+import (
+	"time"
+
+	"lsmkv/internal/core"
+)
+
+// Decision is one applied knob move: the signal snapshot that justified
+// it, the before/after knob sets, and the rationale — the same story the
+// EventTune ring tells, in typed form for Status consumers.
+type Decision struct {
+	Time      time.Time     `json:"time"`
+	Shard     int           `json:"shard,omitempty"`
+	Signals   Signals       `json:"signals"`
+	Before    core.Tunables `json:"before"`
+	After     core.Tunables `json:"after"`
+	Rationale string        `json:"rationale"`
+}
+
+// Status is one tuner's externally visible state, served through
+// STATS//metrics and `lsmctl tune status`.
+type Status struct {
+	Shard    int    `json:"shard"`
+	Running  bool   `json:"running"`
+	Frozen   bool   `json:"frozen"`
+	Interval string `json:"interval"`
+	Cooldown string `json:"cooldown"`
+	// Samples counts completed control-loop steps, Moves the ones that
+	// applied a knob change.
+	Samples int64 `json:"samples"`
+	Moves   int64 `json:"moves"`
+	// Current is the live knob set; TargetDesign is the design point the
+	// controller is steering toward (equal to the current design when it
+	// sees no worthwhile move).
+	Current      core.Tunables `json:"current"`
+	TargetDesign string        `json:"target_design,omitempty"`
+	LastSignals  Signals       `json:"last_signals"`
+	// Decisions is the bounded history of applied moves, oldest first.
+	Decisions []Decision `json:"decisions,omitempty"`
+}
+
+// Status reports the tuner's current state.
+func (t *Tuner) Status() Status {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := Status{
+		Shard:        t.cfg.Shard,
+		Running:      t.running,
+		Frozen:       t.frozen,
+		Interval:     t.cfg.Interval.String(),
+		Cooldown:     t.cfg.Cooldown.String(),
+		Samples:      t.samples,
+		Moves:        t.moves,
+		Current:      t.target.Tunables(),
+		TargetDesign: t.targetDesc,
+		LastSignals:  t.lastSig,
+	}
+	if len(t.decisions) > 0 {
+		st.Decisions = append([]Decision(nil), t.decisions...)
+	}
+	return st
+}

@@ -30,6 +30,7 @@ import (
 	"lsmkv/internal/rangefilter"
 	"lsmkv/internal/shard"
 	"lsmkv/internal/sstable"
+	"lsmkv/internal/tuner"
 )
 
 // ErrNotFound is returned by Get when no visible version of a key exists.
@@ -201,6 +202,15 @@ type Options struct {
 	// which writes are delayed by the full SlowdownMaxDelay (ramping from
 	// half that debt). Default 64 MiB; negative disables the component.
 	PendingCompactionSlowdownBytes int64
+
+	// AutoTune starts the online self-tuning controller at Open: one
+	// tuner per shard samples the engine's iostat counters and adapts the
+	// live knobs (leveling/tiering position, filter bits/key, slowdown
+	// band) to the observed workload. See TUNING.md's "Let the engine
+	// tune itself". Off by default.
+	AutoTune bool
+	// AutoTuneInterval is the tuner's sampling period. Default 10s.
+	AutoTuneInterval time.Duration
 
 	// Stats, when non-nil, receives I/O accounting shared with the
 	// caller; otherwise the DB keeps a private instance.
@@ -405,7 +415,11 @@ func Open(dir string, opts *Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DB{inner: inner}, nil
+	db := &DB{inner: inner}
+	if o.AutoTune {
+		db.StartTuning(o.AutoTuneInterval)
+	}
+	return db, nil
 }
 
 func optsOrDefault(o *Options) *Options {
@@ -542,6 +556,35 @@ func (db *DB) IndexMemory() int { return db.inner.IndexMemory() }
 
 // DebugString renders the tree shape.
 func (db *DB) DebugString() string { return db.inner.DebugString() }
+
+// TunerStatus is one shard tuner's externally visible state: the live
+// knob set, the design it is steering toward, the last signal sample,
+// and the bounded history of applied moves.
+type TunerStatus = tuner.Status
+
+// TunerDecision is one applied tuner move: signals, before/after knobs,
+// rationale.
+type TunerDecision = tuner.Decision
+
+// StartTuning launches the online self-tuning controller (one tuner per
+// shard) sampling every interval (<= 0 selects the 10s default).
+// Idempotent while running. Options.AutoTune calls this at Open.
+func (db *DB) StartTuning(interval time.Duration) {
+	db.inner.StartTuning(tuner.Config{Interval: interval})
+}
+
+// StopTuning halts the self-tuning controller, keeping whatever knob
+// values it last applied.
+func (db *DB) StopTuning() { db.inner.StopTuning() }
+
+// FreezeTuning holds (true) or releases (false) the tuner: frozen tuners
+// keep sampling and reporting but apply no knob moves — the operator's
+// way to pin the current design while diagnosing.
+func (db *DB) FreezeTuning(frozen bool) { db.inner.FreezeTuning(frozen) }
+
+// TunerStatus returns one status per shard tuner, indexed by shard; nil
+// when tuning is not running.
+func (db *DB) TunerStatus() []TunerStatus { return db.inner.TunerStatus() }
 
 // Close flushes and shuts down the engine.
 func (db *DB) Close() error { return db.inner.Close() }
