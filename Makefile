@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race crash bench bench-server bench-stall bench-shards bench-replica bench-tune experiments examples fuzz serve clean cover fmt-check doc-check doc-links
+.PHONY: all build test race crash bench bench-server bench-stall bench-shards bench-replica bench-tune bench-read experiments examples fuzz serve clean cover fmt-check doc-check doc-links
 
 all: build test
 
@@ -123,6 +123,16 @@ bench-replica:
 bench-tune:
 	$(GO) run ./cmd/lsmbench -e E17 | tee -a bench_results.txt
 
+# Read-path allocation discipline and batched wire reads: allocs/op for
+# the allocating vs append point-read APIs (and across the learned-index
+# fence lookups), MULTIGET vs sequential GET at batch 1/8/64, streamed
+# vs paged scan (experiment E18). Appends to bench_results.txt so
+# before/after runs accumulate. The same numbers are gated in CI by
+# TestGetAllocs/TestMultiGetAllocs.
+bench-read:
+	$(GO) run ./cmd/lsmbench -e E18 | tee -a bench_results.txt
+	$(GO) test . -run xxx -bench 'BenchmarkDBGet' -benchtime 2000x -benchmem | tee -a bench_results.txt
+
 # Group-commit microbench: coalesced vs per-op-sync committer over the
 # full network stack (see bench_results.txt for a recorded run).
 bench-server:
@@ -145,6 +155,7 @@ fuzz:
 	$(GO) test ./internal/shard/ -fuzz FuzzShardRouting -fuzztime 30s
 	$(GO) test ./internal/server/ -fuzz FuzzDecodeRequest -fuzztime 30s
 	$(GO) test ./internal/server/ -fuzz FuzzDecodeResponse -fuzztime 30s
+	$(GO) test ./internal/server/ -fuzz FuzzMultiGetRequest -fuzztime 30s
 	$(GO) test ./internal/replica/ -fuzz FuzzReplFrame -fuzztime 30s
 
 # Run a server on ./serve-db with metrics, for poking at with lsmctl:

@@ -1,0 +1,172 @@
+package lsmkv
+
+import (
+	"testing"
+
+	"lsmkv/internal/workload"
+)
+
+// Allocation-regression gates for the read hot path. These are tests,
+// not benchmarks, so a regression fails CI instead of drifting quietly
+// in bench_results.txt. The ceilings are explicit and deliberately
+// tight:
+//
+//   - GetAppend on a memtable-resident key: 0 allocs/op. The search key
+//     is encoded into pooled scratch and the caller's dst is reused.
+//   - GetAppend on a flushed key served from the block cache: 0
+//     allocs/op. The cached block decodes into a pooled readScratch;
+//     restart arrays, iterator key buffers, and the search key all come
+//     from the pool.
+//   - GetAppend on a cache miss: the one unavoidable allocation is the
+//     raw block handed to the cache (which takes ownership), plus cache
+//     bookkeeping — ceiling 6.
+//   - MultiGet: the batch path may allocate the result slices and one
+//     value copy per present key, but no more than 4 allocs/key at
+//     batch 64.
+//
+// testing.AllocsPerRun averages over runs with GOMAXPROCS pinned to 1;
+// each section warms the path first so pool fills don't count against
+// the steady state.
+func TestGetAllocs(t *testing.T) {
+	opts := Default()
+	opts.MemtableBytes = 1 << 20
+	db, err := Open(t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	hot := []byte("alloc-hot-key")
+	if err := db.Put(hot, []byte("alloc-hot-value")); err != nil {
+		t.Fatal(err)
+	}
+
+	var dst []byte
+	lookup := func() {
+		v, err := db.GetAppend(hot, dst[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst = v
+	}
+
+	t.Run("memtable", func(t *testing.T) {
+		for i := 0; i < 16; i++ {
+			lookup() // warm the scratch pools
+		}
+		if allocs := testing.AllocsPerRun(200, lookup); allocs > 0 {
+			t.Errorf("memtable-resident GetAppend: %.2f allocs/op, ceiling 0", allocs)
+		}
+	})
+
+	// Flush everything so the hot key is served from a sorted run, then
+	// warm the block cache.
+	const nKeys = 2000
+	for i := int64(0); i < nKeys; i++ {
+		k := workload.ScrambleKey(i, nKeys)
+		if err := db.Put(workload.Key(k), workload.Value(k, 32)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("cache-hit", func(t *testing.T) {
+		for i := 0; i < 16; i++ {
+			lookup() // load the block into cache, warm the pools
+		}
+		if allocs := testing.AllocsPerRun(200, lookup); allocs > 0 {
+			t.Errorf("cache-hit GetAppend: %.2f allocs/op, ceiling 0", allocs)
+		}
+	})
+
+	t.Run("cache-miss", func(t *testing.T) {
+		// A cache-free DB: every lookup reads and decodes its block
+		// fresh. With no cache to take ownership, the raw block buffer
+		// is pool-reused too; the ceiling allows the read syscall path.
+		cold := Default().DisableCache()
+		cold.MemtableBytes = 1 << 20
+		db2, err := Open(t.TempDir(), cold)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db2.Close()
+		if err := db2.Put(hot, []byte("alloc-hot-value")); err != nil {
+			t.Fatal(err)
+		}
+		for i := int64(0); i < nKeys; i++ {
+			k := workload.ScrambleKey(i, nKeys)
+			if err := db2.Put(workload.Key(k), workload.Value(k, 32)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := db2.Compact(); err != nil {
+			t.Fatal(err)
+		}
+		var dst2 []byte
+		coldLookup := func() {
+			v, err := db2.GetAppend(hot, dst2[:0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			dst2 = v
+		}
+		for i := 0; i < 16; i++ {
+			coldLookup()
+		}
+		if allocs := testing.AllocsPerRun(200, coldLookup); allocs > 6 {
+			t.Errorf("cache-miss GetAppend: %.2f allocs/op, ceiling 6", allocs)
+		}
+	})
+}
+
+// TestMultiGetAllocs bounds the batch read path: at batch 64 over a
+// Zipfian-hot key set (all present, cache-warm), MultiGet may allocate
+// the aligned result slice and one value copy per key but must stay
+// under 4 allocs per key.
+func TestMultiGetAllocs(t *testing.T) {
+	opts := Default()
+	opts.MemtableBytes = 1 << 20
+	db, err := Open(t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	const nKeys = 2000
+	for i := int64(0); i < nKeys; i++ {
+		if err := db.Put(workload.Key(i), workload.Value(i, 32)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+
+	const batch = 64
+	gen := workload.NewKeyGen(workload.Zipfian, nKeys, 0.99, 7)
+	keys := make([][]byte, batch)
+	for i := range keys {
+		keys[i] = workload.Key(gen.Next())
+	}
+	mget := func() {
+		vals, err := db.MultiGet(keys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range vals {
+			if v == nil {
+				t.Fatalf("key %q absent in alloc run", keys[i])
+			}
+		}
+	}
+	for i := 0; i < 8; i++ {
+		mget() // warm cache and pools
+	}
+	const ceiling = 4 * batch
+	if allocs := testing.AllocsPerRun(50, mget); allocs > ceiling {
+		t.Errorf("MultiGet batch %d: %.1f allocs/batch (%.2f/key), ceiling %d",
+			batch, allocs, allocs/batch, ceiling)
+	}
+}

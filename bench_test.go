@@ -416,6 +416,7 @@ func BenchmarkDBGet(b *testing.B) {
 			opts := Default()
 			opts.TrackLatency = mode.track
 			db := benchDB(b, opts)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				k := workload.ScrambleKey(int64(i)%benchKeys, benchKeys)
@@ -425,4 +426,37 @@ func BenchmarkDBGet(b *testing.B) {
 			}
 		})
 	}
+	// The append-style read reuses the caller's buffer: with a warm
+	// block cache this is the zero-allocation path TestGetAllocs gates
+	// (run with -benchmem to see allocs/op).
+	b.Run("get-append", func(b *testing.B) {
+		db := benchDB(b, Default())
+		var dst []byte
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k := workload.ScrambleKey(int64(i)%benchKeys, benchKeys)
+			v, err := db.GetAppend(workload.Key(k), dst[:0])
+			if err != nil {
+				b.Fatal(err)
+			}
+			dst = v
+		}
+	})
+	// Batched point reads at the engine level, batch 64, Zipfian-hot.
+	b.Run("multiget-64", func(b *testing.B) {
+		db := benchDB(b, Default())
+		gen := workload.NewKeyGen(workload.Zipfian, benchKeys, 0.99, 11)
+		keys := make([][]byte, 64)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := range keys {
+				keys[j] = workload.Key(gen.Next() % benchKeys)
+			}
+			if _, err := db.MultiGet(keys); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -6,6 +6,7 @@
 //
 //	lsmctl -db /path put <key> <value>
 //	lsmctl -db /path get <key>
+//	lsmctl -db /path mget <key>...    # batch point reads
 //	lsmctl -db /path delete <key>
 //	lsmctl -db /path scan <lo> <hi>
 //	lsmctl -db /path trace <key>      # read-path trace: runs, filters, fences
@@ -20,8 +21,9 @@
 //
 //	lsmctl -addr host:4440 put <key> <value>
 //	lsmctl -addr host:4440 get <key>
+//	lsmctl -addr host:4440 mget <key>...  # one MULTIGET round trip
 //	lsmctl -addr host:4440 delete <key>
-//	lsmctl -addr host:4440 scan <lo> <hi>
+//	lsmctl -addr host:4440 scan <lo> <hi>  # streamed (SCANSTREAM frames)
 //	lsmctl -addr host:4440 trace <key>
 //	lsmctl -addr host:4440 stats
 //	lsmctl -addr host:4440 stats -events
@@ -141,6 +143,26 @@ func run(db *lsmkv.DB, args []string) error {
 		}
 		fmt.Printf("%s\n", v)
 		return nil
+	case "mget":
+		if len(rest) == 0 {
+			return fmt.Errorf("mget expects at least one key")
+		}
+		keys := make([][]byte, len(rest))
+		for i, k := range rest {
+			keys[i] = []byte(k)
+		}
+		vals, err := db.MultiGet(keys)
+		if err != nil {
+			return err
+		}
+		for i, v := range vals {
+			if v == nil {
+				fmt.Printf("%s => (not found)\n", keys[i])
+				continue
+			}
+			fmt.Printf("%s => %s\n", keys[i], v)
+		}
+		return nil
 	case "delete":
 		if err := need(1); err != nil {
 			return err
@@ -251,7 +273,7 @@ func run(db *lsmkv.DB, args []string) error {
 			return fmt.Errorf("tune expects status|events, got %q", rest[0])
 		}
 	default:
-		return fmt.Errorf("unknown command %q (put|get|delete|scan|trace|stats|compact|fill|gc|tune)", cmd)
+		return fmt.Errorf("unknown command %q (put|get|mget|delete|scan|trace|stats|compact|fill|gc|tune)", cmd)
 	}
 }
 
@@ -326,6 +348,26 @@ func runRemote(cl *client.Client, args []string) error {
 			return err
 		}
 		fmt.Printf("%s\n", v)
+		return nil
+	case "mget":
+		if len(rest) == 0 {
+			return fmt.Errorf("mget expects at least one key")
+		}
+		keys := make([][]byte, len(rest))
+		for i, k := range rest {
+			keys[i] = []byte(k)
+		}
+		vals, err := cl.MultiGet(keys)
+		if err != nil {
+			return err
+		}
+		for i, v := range vals {
+			if v == nil {
+				fmt.Printf("%s => (not found)\n", keys[i])
+				continue
+			}
+			fmt.Printf("%s => %s\n", keys[i], v)
+		}
 		return nil
 	case "delete":
 		if err := need(1); err != nil {
@@ -528,6 +570,6 @@ func runRemote(cl *client.Client, args []string) error {
 			return fmt.Errorf("tune expects status|events, got %q", rest[0])
 		}
 	default:
-		return fmt.Errorf("unknown remote command %q (put|get|delete|scan|trace|stats|ping|fill|checkpoint|replstatus|verify-replica|tune)", cmd)
+		return fmt.Errorf("unknown remote command %q (put|get|mget|delete|scan|trace|stats|ping|fill|checkpoint|replstatus|verify-replica|tune)", cmd)
 	}
 }

@@ -173,9 +173,49 @@ func (c *Client) Scan(lo, hi []byte, limit int) (pairs []KV, more bool, err erro
 	return resp.Pairs, resp.More, nil
 }
 
-// ScanAll streams every pair in [lo, hi] to fn, paging through truncated
-// responses, until fn returns false or the range is exhausted.
+// ScanAll streams every pair in [lo, hi] to fn, until fn returns false
+// or the range is exhausted. It rides a single streamed SCANSTREAM
+// request — one request frame for the whole range, the server pushing
+// response frames as it walks — instead of paging Scan round trips.
+// With retries enabled, a transient mid-stream failure resumes just
+// past the last delivered key, so fn sees every pair exactly once.
 func (c *Client) ScanAll(lo, hi []byte, fn func(key, value []byte) bool) error {
+	backoff := c.opts.RetryBackoff
+	attempt := 0
+	for {
+		var last []byte
+		delivered := false
+		err := c.scanStreamOnce(lo, hi, func(k, v []byte) bool {
+			delivered = true
+			last = append(last[:0], k...)
+			return fn(k, v)
+		})
+		if err == nil {
+			return nil
+		}
+		if delivered {
+			// Progress was made: restart the retry budget and resume just
+			// past the last delivered key (appending 0x00 yields the
+			// smallest key strictly greater under bytewise order) rather
+			// than replaying pairs fn has already seen.
+			attempt = 0
+			backoff = c.opts.RetryBackoff
+			lo = append(append(make([]byte, 0, len(last)+1), last...), 0)
+		}
+		if attempt >= c.opts.MaxRetries || !transient(err) {
+			return err
+		}
+		attempt++
+		time.Sleep(backoff)
+		backoff *= 2
+	}
+}
+
+// ScanAllPaged is ScanAll's page-at-a-time predecessor: it walks the
+// range with repeated SCAN round trips, resuming past each truncated
+// response. Kept for servers predating SCANSTREAM and as the oracle
+// the streamed path is tested against.
+func (c *Client) ScanAllPaged(lo, hi []byte, fn func(key, value []byte) bool) error {
 	for {
 		pairs, more, err := c.Scan(lo, hi, 0)
 		if err != nil {
@@ -194,6 +234,104 @@ func (c *Client) ScanAll(lo, hi []byte, fn func(key, value []byte) bool) error {
 		last := pairs[len(pairs)-1].Key
 		lo = append(append(make([]byte, 0, len(last)+1), last...), 0)
 	}
+}
+
+// ScanStream issues one streamed SCANSTREAM request for [lo, hi] and
+// delivers every pair to fn as frames arrive; fn returning false
+// cancels the stream. Unlike ScanAll it never retries: a transport
+// failure mid-stream surfaces immediately.
+func (c *Client) ScanStream(lo, hi []byte, fn func(key, value []byte) bool) error {
+	return c.scanStreamOnce(lo, hi, fn)
+}
+
+// scanStreamOnce runs one SCANSTREAM request to completion, early stop,
+// or first error.
+func (c *Client) scanStreamOnce(lo, hi []byte, fn func(key, value []byte) bool) error {
+	w, err := c.wire()
+	if err != nil {
+		return err
+	}
+	req := &server.Request{Op: server.OpScanStream, Lo: lo, Hi: hi}
+	p, err := w.sendStream(req)
+	if err != nil {
+		c.dropWire(w, err)
+		return err
+	}
+	defer func() {
+		// Unblock the read loop if it is mid-delivery and forget the
+		// call; any frames still in flight are then discarded.
+		close(p.quit)
+		w.abandon(req.ID)
+	}()
+	timer := time.NewTimer(c.opts.RequestTimeout)
+	defer timer.Stop()
+	for {
+		var resp server.Response
+		// Prefer frames already delivered over a concurrent wire failure
+		// so a stream that completed just before teardown still finishes.
+		select {
+		case resp = <-p.ch:
+		default:
+			select {
+			case resp = <-p.ch:
+			case <-w.dead:
+				err := w.errOr(io.ErrUnexpectedEOF)
+				c.detachWire(w)
+				return err
+			case <-timer.C:
+				return ErrTimeout
+			}
+		}
+		switch resp.Status {
+		case server.StatusOK:
+		case server.StatusThrottled:
+			return ErrThrottled
+		case server.StatusShutdown:
+			c.detachWire(w)
+			return ErrShutdown
+		default:
+			return &ServerError{Msg: string(resp.Value)}
+		}
+		for _, pr := range resp.Pairs {
+			if !fn(pr.Key, pr.Value) {
+				return nil
+			}
+		}
+		if !resp.More {
+			return nil
+		}
+		// Each frame restarts the clock: RequestTimeout bounds the gap
+		// between frames, not the stream's total duration.
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(c.opts.RequestTimeout)
+	}
+}
+
+// MultiGet looks up keys in one round trip and returns values aligned
+// with keys: nil marks an absent key (never an error), an empty
+// non-nil slice a present key whose value is empty. Against a sharded
+// server the batch fans out across shards in parallel.
+func (c *Client) MultiGet(keys [][]byte) ([][]byte, error) {
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	resp, err := c.call(&server.Request{Op: server.OpMultiGet, Keys: keys}, false)
+	if err != nil {
+		return nil, err
+	}
+	vals, err := server.DecodeMultiGetValues(resp.Value)
+	if err != nil {
+		return nil, fmt.Errorf("client: decode multiget response: %w", err)
+	}
+	if len(vals) != len(keys) {
+		return nil, fmt.Errorf("client: multiget: %d values for %d keys", len(vals), len(keys))
+	}
+	return vals, nil
 }
 
 // Stats returns the server's /metrics JSON (server counters with
@@ -435,6 +573,13 @@ func (c *Client) dropWire(w *wire, err error) {
 type pendingCall struct {
 	ch   chan server.Response
 	scan bool
+	// stream marks a multi-response call (SCANSTREAM): the read loop
+	// keeps delivering frames on ch until a final frame (more=0 or a
+	// non-OK status) instead of resolving after one.
+	stream bool
+	// quit, when non-nil, is closed by the consumer on early exit so a
+	// blocked read-loop delivery can bail instead of wedging the wire.
+	quit chan struct{}
 }
 
 type wire struct {
@@ -471,12 +616,26 @@ func dialWire(addr string, opts Options) (*wire, error) {
 
 // send registers a pending call and writes the request frame.
 func (w *wire) send(req *server.Request, scan bool) (*pendingCall, error) {
+	return w.sendCall(req, &pendingCall{ch: make(chan server.Response, 1), scan: scan})
+}
+
+// sendStream registers a streaming call: scan-shaped frames keep
+// arriving on a buffered channel until the final (more=0) frame.
+func (w *wire) sendStream(req *server.Request) (*pendingCall, error) {
+	return w.sendCall(req, &pendingCall{
+		ch:     make(chan server.Response, 32),
+		scan:   true,
+		stream: true,
+		quit:   make(chan struct{}),
+	})
+}
+
+func (w *wire) sendCall(req *server.Request, p *pendingCall) (*pendingCall, error) {
 	req.ID = w.nextID.Add(1)
 	if req.ID == server.ConnErrID {
 		// Skip the reserved connection-level-error ID on wraparound.
 		req.ID = w.nextID.Add(1)
 	}
-	p := &pendingCall{ch: make(chan server.Response, 1), scan: scan}
 	w.pmu.Lock()
 	if w.err != nil {
 		err := w.err
@@ -519,6 +678,11 @@ func (w *wire) fail(err error) {
 		close(w.dead)
 		w.nc.Close()
 		for _, p := range calls {
+			if p.stream {
+				// Stream consumers watch w.dead; the read loop may still
+				// be blocked sending on ch, so it must not be closed.
+				continue
+			}
 			close(p.ch)
 		}
 	})
@@ -554,7 +718,6 @@ func (w *wire) readLoop(maxFrame int) {
 		}
 		w.pmu.Lock()
 		p := w.pending[id]
-		delete(w.pending, id)
 		w.pmu.Unlock()
 		if p == nil {
 			continue // abandoned (timed out) request
@@ -564,6 +727,23 @@ func (w *wire) readLoop(maxFrame int) {
 			w.fail(err)
 			return
 		}
-		p.ch <- resp
+		// A plain call resolves on its one response; a stream stays
+		// pending until a final frame (more=0) or an error status.
+		if !p.stream || resp.Status != server.StatusOK || !resp.More {
+			w.pmu.Lock()
+			delete(w.pending, id)
+			w.pmu.Unlock()
+		}
+		if p.quit == nil {
+			p.ch <- resp // buffered: never blocks for single-shot calls
+			continue
+		}
+		select {
+		case p.ch <- resp:
+		case <-p.quit:
+			// Consumer bailed (timeout, early stop): drop the frame and
+			// forget the call so the rest of the stream is discarded.
+			w.abandon(id)
+		}
 	}
 }

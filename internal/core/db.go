@@ -521,6 +521,20 @@ func (db *DB) Get(key []byte) ([]byte, error) {
 	return value, err
 }
 
+// GetAppend is Get with the value appended to dst (which may be nil)
+// instead of freshly allocated, returning the extended slice. With the
+// target block resident in the cache and dst capacious enough, a lookup
+// performs zero heap allocations — the steady-state read hot path.
+func (db *DB) GetAppend(key, dst []byte) ([]byte, error) {
+	if db.lat == nil {
+		return db.getAppend(key, kv.MaxSeqNum, dst, nil)
+	}
+	start := time.Now()
+	value, err := db.getAppend(key, kv.MaxSeqNum, dst, nil)
+	db.lat.Get.Observe(time.Since(start))
+	return value, err
+}
+
 // GetTraced is Get with a full read-path trace: which buffers and sorted
 // runs were consulted, how each run screened the probe (fences, sequence
 // bounds, filters), and the block-level work the survivors cost. The trace
@@ -539,45 +553,51 @@ func (db *DB) GetTraced(key []byte) ([]byte, *iostat.Trace, error) {
 }
 
 func (db *DB) get(key []byte, snap kv.SeqNum, tr *iostat.Trace) ([]byte, error) {
+	return db.getAppend(key, snap, nil, tr)
+}
+
+func (db *DB) getAppend(key []byte, snap kv.SeqNum, dst []byte, tr *iostat.Trace) ([]byte, error) {
 	db.opts.Stats.PointLookups.Add(1)
-	value, kind, found, err := db.getInternal(key, snap, tr)
+	base := len(dst)
+	value, kind, found, err := db.getInternal(key, snap, dst, tr)
 	if err != nil {
-		return nil, err
+		return dst, err
 	}
 	if !found || kind == kv.KindDelete {
 		if tr != nil && found && kind == kv.KindDelete {
 			tr.Tombstone = true
 		}
-		return nil, ErrNotFound
+		return dst, ErrNotFound
 	}
 	if kind == kv.KindValuePointer {
-		ptr, err := vlog.DecodePointer(value)
+		ptr, err := vlog.DecodePointer(value[base:])
 		if err != nil {
-			return nil, err
+			return dst, err
 		}
 		db.opts.Stats.VlogReads.Add(1)
 		v, err := db.vlog.Get(ptr)
 		if err != nil {
-			return nil, err
+			return dst, err
 		}
 		if tr != nil {
 			tr.VlogRead = true
 			tr.Found = true
 			tr.SetValue(v)
 		}
-		return v, nil
+		// Swap the appended pointer bytes for the resolved value.
+		return append(value[:base], v...), nil
 	}
 	if tr != nil {
 		tr.Found = true
-		tr.SetValue(value)
+		tr.SetValue(value[base:])
 	}
 	return value, nil
 }
 
 // getInternal walks buffer -> immutables -> tree, newest first, returning
-// the first (newest visible) version of key. tr, when non-nil, records
-// every screening decision along the way.
-func (db *DB) getInternal(key []byte, snap kv.SeqNum, tr *iostat.Trace) (value []byte, kind kv.Kind, found bool, err error) {
+// the first (newest visible) version of key appended to dst. tr, when
+// non-nil, records every screening decision along the way.
+func (db *DB) getInternal(key []byte, snap kv.SeqNum, dst []byte, tr *iostat.Trace) (value []byte, kind kv.Kind, found bool, err error) {
 	db.mu.Lock()
 	if db.closed {
 		db.mu.Unlock()
@@ -598,7 +618,7 @@ func (db *DB) getInternal(key []byte, snap kv.SeqNum, tr *iostat.Trace) (value [
 			tr.MemtableHit = true
 			tr.Source = "memtable"
 		}
-		return value, kind, true, nil
+		return append(dst, value...), kind, true, nil
 	}
 	for i := len(imms) - 1; i >= 0; i-- { // newest immutable first
 		if tr != nil {
@@ -608,7 +628,7 @@ func (db *DB) getInternal(key []byte, snap kv.SeqNum, tr *iostat.Trace) (value [
 			if tr != nil {
 				tr.Source = fmt.Sprintf("immutable-%d", len(imms)-1-i)
 			}
-			return value, kind, true, nil
+			return append(dst, value...), kind, true, nil
 		}
 	}
 
@@ -645,7 +665,7 @@ func (db *DB) getInternal(key []byte, snap kv.SeqNum, tr *iostat.Trace) (value [
 			if rt != nil {
 				rt.Decision = iostat.DecisionProbed
 			}
-			value, kind, found, err = th.reader.GetTraced(key, kh, snap, rt)
+			value, kind, found, err = th.reader.GetAppend(key, kh, snap, dst, rt)
 			if err != nil {
 				return nil, 0, false, err
 			}

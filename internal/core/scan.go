@@ -109,7 +109,7 @@ func (db *DB) RunValueLogGC() (bool, error) {
 	start := time.Now()
 	collected, err := db.vlog.GC(
 		func(key []byte, p vlog.Pointer) bool {
-			value, kind, found, err := db.getInternal(key, kv.MaxSeqNum, nil)
+			value, kind, found, err := db.getInternal(key, kv.MaxSeqNum, nil, nil)
 			if err != nil || !found || kind != kv.KindValuePointer {
 				return false
 			}

@@ -1,0 +1,71 @@
+// Arena allocation for the write buffer: entry payloads, skiplist nodes,
+// and towers are carved out of chunked slabs owned by the memtable
+// instead of individually heap-allocated. A memtable is insert-only and
+// dies wholesale at flush, which is exactly the lifetime an arena wants —
+// inserts stop paying per-entry allocator and GC-scan costs, and the
+// whole buffer is released as a handful of chunks.
+
+package memtable
+
+const (
+	// arenaChunkSize is the byte-arena chunk granularity. Payloads larger
+	// than a chunk get a dedicated chunk of their exact size.
+	arenaChunkSize = 64 << 10
+	// nodeSlabLen is how many skiplist nodes one slab holds.
+	nodeSlabLen = 512
+	// towerSlabLen is how many tower pointers one slab holds.
+	towerSlabLen = 1024
+)
+
+// arena hands out byte slices from append-only chunks. Only the active
+// chunk is retained; exhausted chunks stay alive through the entries
+// pointing into them.
+type arena struct {
+	cur []byte // active chunk; len(cur) bytes are in use
+}
+
+// alloc returns an n-byte slice with full capacity n, carved from the
+// active chunk (or a fresh one when it does not fit).
+func (a *arena) alloc(n int) []byte {
+	if cap(a.cur)-len(a.cur) < n {
+		size := arenaChunkSize
+		if n > size {
+			size = n
+		}
+		a.cur = make([]byte, 0, size)
+	}
+	off := len(a.cur)
+	a.cur = a.cur[:off+n]
+	return a.cur[off : off+n : off+n]
+}
+
+// copyBytes copies b into the arena. Empty input stays nil-equivalent.
+func (a *arena) copyBytes(b []byte) []byte {
+	if len(b) == 0 {
+		return nil
+	}
+	s := a.alloc(len(b))
+	copy(s, b)
+	return s
+}
+
+// newNode returns a pointer into the node slab. Slab backing arrays are
+// never regrown, so handed-out pointers stay valid; a full slab is simply
+// abandoned to the nodes referencing it.
+func (m *Memtable) newNode() *node {
+	if len(m.nodeSlab) == cap(m.nodeSlab) {
+		m.nodeSlab = make([]node, 0, nodeSlabLen)
+	}
+	m.nodeSlab = m.nodeSlab[:len(m.nodeSlab)+1]
+	return &m.nodeSlab[len(m.nodeSlab)-1]
+}
+
+// newTower returns a zeroed h-long pointer slice from the tower slab.
+func (m *Memtable) newTower(h int) []*node {
+	if cap(m.towerSlab)-len(m.towerSlab) < h {
+		m.towerSlab = make([]*node, 0, towerSlabLen)
+	}
+	off := len(m.towerSlab)
+	m.towerSlab = m.towerSlab[:off+h]
+	return m.towerSlab[off : off+h : off+h]
+}

@@ -30,6 +30,10 @@ type node struct {
 
 // Memtable is a concurrent ordered buffer of versioned entries. The zero
 // value is not usable; call New.
+//
+// All entry payloads, nodes, and towers live in memtable-owned arenas
+// (see arena.go): the buffer is insert-only and released wholesale after
+// flush, so inserts avoid per-entry heap allocation entirely.
 type Memtable struct {
 	mu     sync.RWMutex
 	head   *node
@@ -37,6 +41,11 @@ type Memtable struct {
 	rng    *rand.Rand
 	size   atomic.Int64
 	count  atomic.Int64
+
+	arena     arena
+	nodeSlab  []node
+	towerSlab []*node
+	prev      [maxHeight]*node // search scratch; guarded by mu
 }
 
 // New returns an empty memtable.
@@ -76,19 +85,33 @@ func (m *Memtable) findGE(target kv.InternalKey, prev []*node) *node {
 	return x.next[0]
 }
 
-// Add inserts a new versioned entry. The entry is deep-copied so callers
-// may reuse their buffers. Duplicate internal keys (same user key, seq and
-// kind) overwrite in place; the engine never produces them in normal
-// operation.
+// Add inserts a new versioned entry. The entry is deep-copied into the
+// memtable's arena so callers may reuse their buffers. Duplicate internal
+// keys (same user key, seq and kind) overwrite in place; the engine never
+// produces them in normal operation.
 func (m *Memtable) Add(e kv.Entry) {
-	e = e.Clone()
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	prev := make([]*node, maxHeight)
-	for i := range prev {
-		prev[i] = m.head
+	e.Key.UserKey = m.arena.copyBytes(e.Key.UserKey)
+	e.Value = m.arena.copyBytes(e.Value)
+	m.addLocked(e)
+}
+
+// AddOwned inserts an entry whose backing bytes the caller hands over
+// (they must stay immutable for the memtable's lifetime). Used when the
+// entry was already copied once — e.g. the two-level front draining into
+// the skiplist — to avoid a second copy.
+func (m *Memtable) AddOwned(e kv.Entry) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.addLocked(e)
+}
+
+func (m *Memtable) addLocked(e kv.Entry) {
+	for i := range m.prev {
+		m.prev[i] = m.head
 	}
-	if n := m.findGE(e.Key, prev); n != nil && kv.CompareInternal(n.entry.Key, e.Key) == 0 {
+	if n := m.findGE(e.Key, m.prev[:]); n != nil && kv.CompareInternal(n.entry.Key, e.Key) == 0 {
 		m.size.Add(int64(len(e.Value) - len(n.entry.Value)))
 		n.entry.Value = e.Value
 		return
@@ -97,10 +120,12 @@ func (m *Memtable) Add(e kv.Entry) {
 	if h > m.height {
 		m.height = h
 	}
-	n := &node{entry: e, next: make([]*node, h)}
+	n := m.newNode()
+	n.entry = e
+	n.next = m.newTower(h)
 	for level := 0; level < h; level++ {
-		n.next[level] = prev[level].next[level]
-		prev[level].next[level] = n
+		n.next[level] = m.prev[level].next[level]
+		m.prev[level].next[level] = n
 	}
 	m.size.Add(int64(e.Size()) + 48) // payload plus tower overhead estimate
 	m.count.Add(1)

@@ -45,7 +45,7 @@ func (t *TwoLevel) Add(e kv.Entry) {
 	k := string(e.Key.UserKey)
 	if old, ok := t.front[k]; ok {
 		t.frontSize -= int64(old.Size())
-		t.back.Add(old)
+		t.back.AddOwned(old)
 	}
 	t.front[k] = e
 	t.frontSize += int64(e.Size())
@@ -64,7 +64,7 @@ func (t *TwoLevel) Drain() {
 	t.frontSize = 0
 	t.mu.Unlock()
 	for _, e := range front {
-		t.back.Add(e)
+		t.back.AddOwned(e)
 	}
 }
 

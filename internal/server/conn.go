@@ -2,6 +2,7 @@ package server
 
 import (
 	"bufio"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"net"
@@ -36,7 +37,7 @@ type conn struct {
 	br  *bufio.Reader
 	bw  *bufio.Writer
 
-	out  chan []byte
+	out  chan *respBuf
 	acks chan *pendingWrite
 
 	// stop closes when the connection is going away — on drain or when the
@@ -65,7 +66,7 @@ func newConn(s *Server, nc net.Conn) *conn {
 		nc:   nc,
 		br:   bufio.NewReaderSize(nc, 64<<10),
 		bw:   bufio.NewWriterSize(nc, 64<<10),
-		out:  make(chan []byte, 256),
+		out:  make(chan *respBuf, 256),
 		acks: make(chan *pendingWrite, 1024),
 		stop: make(chan struct{}),
 	}
@@ -124,7 +125,7 @@ func (c *conn) readLoop() {
 				// Framing is lost; tell the client why on the reserved
 				// connection-level ID, then hang up.
 				c.srv.metrics.DecodeErrors.Add(1)
-				c.send(AppendResponse(nil, &Response{ID: ConnErrID, Status: StatusError, Value: []byte(err.Error())}))
+				c.send(&Response{ID: ConnErrID, Status: StatusError, Value: []byte(err.Error())})
 			}
 			return
 		}
@@ -133,7 +134,7 @@ func (c *conn) readLoop() {
 		if err != nil {
 			// Frame boundary intact, body malformed: answer and carry on.
 			c.srv.metrics.DecodeErrors.Add(1)
-			c.send(AppendResponse(nil, &Response{ID: req.ID, Status: StatusError, Value: []byte(err.Error())}))
+			c.send(&Response{ID: req.ID, Status: StatusError, Value: []byte(err.Error())})
 			continue
 		}
 		c.dispatch(&req)
@@ -154,7 +155,7 @@ func (c *conn) dispatch(req *Request) {
 				Detail: req.Op.String(),
 			})
 			m.observeOp(req.Op, time.Since(start))
-			c.send(AppendResponse(nil, &Response{ID: req.ID, Status: StatusThrottled, Value: []byte("rate limit exceeded")}))
+			c.send(&Response{ID: req.ID, Status: StatusThrottled, Value: []byte("rate limit exceeded")})
 			return
 		}
 		if wait > 0 {
@@ -170,8 +171,12 @@ func (c *conn) dispatch(req *Request) {
 		c.finishRead(req, start, &Response{ID: req.ID, Status: StatusOK})
 	case OpGet:
 		c.handleGet(req, start)
+	case OpMultiGet:
+		c.handleMultiGet(req, start)
 	case OpScan:
 		c.handleScan(req, start)
+	case OpScanStream:
+		c.handleScanStream(req, start)
 	case OpStats:
 		c.handleStats(req, start)
 	case OpTrace:
@@ -197,18 +202,78 @@ func (c *conn) dispatch(req *Request) {
 // response.
 func (c *conn) finishRead(req *Request, start time.Time, resp *Response) {
 	c.srv.metrics.observeOp(req.Op, time.Since(start))
-	c.send(AppendResponse(nil, resp))
+	c.send(resp)
 }
 
 func (c *conn) handleGet(req *Request, start time.Time) {
-	value, err := c.srv.cfg.DB.Get(req.Key)
-	resp := Response{ID: req.ID, Status: StatusOK, Value: value}
-	if errors.Is(err, core.ErrNotFound) {
-		resp = Response{ID: req.ID, Status: StatusNotFound}
-	} else if err != nil {
-		resp = errResponse(req.ID, err)
+	ag := c.srv.appendEng
+	if ag == nil {
+		value, err := c.srv.cfg.DB.Get(req.Key)
+		resp := Response{ID: req.ID, Status: StatusOK, Value: value}
+		if errors.Is(err, core.ErrNotFound) {
+			resp = Response{ID: req.ID, Status: StatusNotFound}
+		} else if err != nil {
+			resp = errResponse(req.ID, err)
+		}
+		c.finishRead(req, start, &resp)
+		return
 	}
-	c.finishRead(req, start, &resp)
+	// Append-capable engine: the value lands directly after the response
+	// header in the pooled buffer — no intermediate value slice at all.
+	rb := getRespBuf()
+	rb.b = binary.LittleEndian.AppendUint32(rb.b, req.ID)
+	rb.b = append(rb.b, byte(StatusOK))
+	b, err := ag.GetAppend(req.Key, rb.b)
+	switch {
+	case err == nil:
+		rb.b = b
+	case errors.Is(err, core.ErrNotFound):
+		rb.b = AppendResponse(rb.b[:0], &Response{ID: req.ID, Status: StatusNotFound})
+	default:
+		resp := errResponse(req.ID, err)
+		rb.b = AppendResponse(rb.b[:0], &resp)
+	}
+	c.srv.metrics.observeOp(req.Op, time.Since(start))
+	c.sendBuf(rb)
+}
+
+// handleMultiGet serves the MULTIGET opcode: one batched lookup whose
+// response carries found/value slots aligned with the request's keys.
+// Engines exposing MultiGet (the sharded facade) fan the batch out per
+// shard in parallel; others fall back to a sequential key loop.
+func (c *conn) handleMultiGet(req *Request, start time.Time) {
+	var vals [][]byte
+	var err error
+	if mg := c.srv.multiEng; mg != nil {
+		vals, err = mg.MultiGet(req.Keys)
+	} else {
+		vals = make([][]byte, len(req.Keys))
+		for i, k := range req.Keys {
+			v, gerr := c.srv.cfg.DB.Get(k)
+			if errors.Is(gerr, core.ErrNotFound) {
+				continue
+			}
+			if gerr != nil {
+				err = gerr
+				break
+			}
+			if v == nil {
+				v = []byte{}
+			}
+			vals[i] = v
+		}
+	}
+	if err != nil {
+		resp := errResponse(req.ID, err)
+		c.finishRead(req, start, &resp)
+		return
+	}
+	rb := getRespBuf()
+	rb.b = binary.LittleEndian.AppendUint32(rb.b, req.ID)
+	rb.b = append(rb.b, byte(StatusOK))
+	rb.b = AppendMultiGetValues(rb.b, vals)
+	c.srv.metrics.observeOp(req.Op, time.Since(start))
+	c.sendBuf(rb)
 }
 
 func (c *conn) handleScan(req *Request, start time.Time) {
@@ -236,6 +301,62 @@ func (c *conn) handleScan(req *Request, start time.Time) {
 		resp = errResponse(req.ID, err)
 	}
 	c.finishRead(req, start, &resp)
+}
+
+// handleScanStream serves SCANSTREAM: the whole scan flows to the
+// client as a sequence of SCAN-shaped frames on this request's ID —
+// more=1 frames while data remains, a final more=0 frame to end the
+// stream. Like REPLSYNC it occupies the read loop, and the bounded out
+// channel is the backpressure: a slow client stalls the scan instead of
+// buffering it. Limit bounds pairs per frame, not the stream.
+func (c *conn) handleScanStream(req *Request, start time.Time) {
+	limit := int(req.Limit)
+	if limit <= 0 || limit > c.srv.cfg.MaxScanResults {
+		limit = c.srv.cfg.MaxScanResults
+	}
+	byteBudget := c.srv.cfg.MaxFrameBytes / 2
+	pairs := make([]KV, 0, 16)
+	used := 0
+	stopped := false
+	emit := func(more bool) {
+		// send encodes synchronously, so the pair buffers may be reused
+		// as soon as it returns.
+		c.send(&Response{ID: req.ID, Status: StatusOK, Pairs: pairs, More: more})
+		pairs = pairs[:0]
+		used = 0
+	}
+	err := c.srv.cfg.DB.Scan(req.Lo, req.Hi, func(k, v []byte) bool {
+		select {
+		case <-c.stop:
+			stopped = true
+			return false
+		default:
+		}
+		// The callback's slices are only valid during the call.
+		pairs = append(pairs, KV{
+			Key:   append([]byte(nil), k...),
+			Value: append([]byte(nil), v...),
+		})
+		used += len(k) + len(v) + 16
+		if len(pairs) >= limit || used >= byteBudget {
+			emit(true)
+		}
+		return true
+	})
+	if stopped {
+		// Teardown mid-stream: the client learns from the closing
+		// connection, not a frame.
+		c.srv.metrics.observeOp(req.Op, time.Since(start))
+		return
+	}
+	if err != nil {
+		// A StatusError frame on this ID ends the stream.
+		resp := errResponse(req.ID, err)
+		c.finishRead(req, start, &resp)
+		return
+	}
+	emit(false)
+	c.srv.metrics.observeOp(req.Op, time.Since(start))
 }
 
 func (c *conn) handleStats(req *Request, start time.Time) {
@@ -384,7 +505,7 @@ func (c *conn) handleReplSync(req *Request, start time.Time) {
 			return errStreamStopped
 		default:
 		}
-		c.send(AppendResponse(nil, &Response{ID: req.ID, Status: StatusOK, Value: frame}))
+		c.send(&Response{ID: req.ID, Status: StatusOK, Value: frame})
 		return nil
 	}
 	err := c.srv.cfg.Repl.Stream(req.Seqs, send, c.stop)
@@ -467,7 +588,7 @@ func (c *conn) ackLoop() {
 			}
 		}
 		c.srv.metrics.observeOp(pw.op, time.Since(pw.start))
-		c.send(AppendResponse(nil, &resp))
+		c.send(&resp)
 	}
 	close(c.out)
 }
@@ -480,21 +601,31 @@ func errResponse(id uint32, err error) Response {
 	return Response{ID: id, Status: status, Value: []byte(err.Error())}
 }
 
-// send queues an encoded response payload; it blocks when the client
-// stops reading (bounded buffering, natural backpressure).
-func (c *conn) send(payload []byte) {
-	c.out <- payload
+// send encodes resp into a pooled buffer and queues it; it blocks when
+// the client stops reading (bounded buffering, natural backpressure).
+// The write loop returns the buffer to the pool after the frame is out.
+func (c *conn) send(resp *Response) {
+	rb := getRespBuf()
+	rb.b = AppendResponse(rb.b, resp)
+	c.sendBuf(rb)
+}
+
+// sendBuf queues an already-encoded pooled payload. Everything on c.out
+// is pool-owned: the write loop is the single point of release.
+func (c *conn) sendBuf(rb *respBuf) {
+	c.out <- rb
 }
 
 func (c *conn) writeLoop(done chan struct{}) {
 	defer close(done)
 	broken := false
-	write := func(p []byte) {
+	write := func(rb *respBuf) {
+		defer putRespBuf(rb)
 		if broken {
 			return
 		}
 		c.nc.SetWriteDeadline(time.Now().Add(c.srv.cfg.WriteTimeout))
-		if err := WriteFrame(c.bw, p); err != nil {
+		if err := WriteFrame(c.bw, rb.b); err != nil {
 			// The connection is dead: keep draining out so the other
 			// goroutines never block, and close to unblock the reader. The
 			// stop signal terminates any replication stream feeding out.
@@ -503,7 +634,7 @@ func (c *conn) writeLoop(done chan struct{}) {
 			c.signalStop()
 			return
 		}
-		c.srv.metrics.BytesOut.Add(int64(len(p) + frameHeaderLen))
+		c.srv.metrics.BytesOut.Add(int64(len(rb.b) + frameHeaderLen))
 	}
 	flush := func() {
 		if broken {
@@ -516,18 +647,18 @@ func (c *conn) writeLoop(done chan struct{}) {
 			c.signalStop()
 		}
 	}
-	for p := range c.out {
-		write(p)
+	for rb := range c.out {
+		write(rb)
 		// Fold every already-queued response into this flush: pipelined
 		// responses share syscalls the same way commits share fsyncs.
 	batch:
 		for {
 			select {
-			case p2, open := <-c.out:
+			case rb2, open := <-c.out:
 				if !open {
 					break batch
 				}
-				write(p2)
+				write(rb2)
 			default:
 				break batch
 			}

@@ -25,6 +25,8 @@ func FuzzDecodeRequest(f *testing.F) {
 			core.PutOp([]byte("a"), []byte("1")),
 			core.DeleteOp([]byte("b")),
 		}},
+		{ID: 8, Op: OpMultiGet, Keys: [][]byte{[]byte("a"), []byte("bb")}},
+		{ID: 9, Op: OpScanStream, Lo: []byte("a"), Hi: []byte("z"), Limit: 4},
 	}
 	for _, req := range seeds {
 		f.Add(AppendRequest(nil, &req))
@@ -53,7 +55,7 @@ func requestsEqual(a, b *Request) bool {
 	if a.ID != b.ID || a.Op != b.Op || a.Limit != b.Limit ||
 		!bytes.Equal(a.Key, b.Key) || !bytes.Equal(a.Value, b.Value) ||
 		!bytes.Equal(a.Lo, b.Lo) || !bytes.Equal(a.Hi, b.Hi) ||
-		len(a.Ops) != len(b.Ops) {
+		len(a.Ops) != len(b.Ops) || len(a.Keys) != len(b.Keys) {
 		return false
 	}
 	for i := range a.Ops {
@@ -63,7 +65,68 @@ func requestsEqual(a, b *Request) bool {
 			return false
 		}
 	}
+	for i := range a.Keys {
+		if !bytes.Equal(a.Keys[i], b.Keys[i]) {
+			return false
+		}
+	}
 	return true
+}
+
+// FuzzMultiGetRequest drills into the MULTIGET request body and the
+// MULTIGET value-list response body specifically: both decoders must
+// reject truncated or lying frames with ErrMalformed (never panic, and
+// never over-allocate on a claimed-huge count), and anything that does
+// decode must survive a re-encode/decode round trip, including the
+// absent (nil) versus present-but-empty value distinction.
+func FuzzMultiGetRequest(f *testing.F) {
+	reqs := []Request{
+		{ID: 1, Op: OpMultiGet, Keys: [][]byte{[]byte("k")}},
+		{ID: 2, Op: OpMultiGet, Keys: [][]byte{[]byte("a"), []byte("long-key-here"), []byte("z")}},
+	}
+	for _, req := range reqs {
+		f.Add(AppendRequest(nil, &req))
+	}
+	// Response-shaped seeds (exercised via the value-list decoder below).
+	f.Add(AppendMultiGetValues(nil, [][]byte{nil, {}, []byte("v")}))
+	// Truncations and lies: claimed count far beyond the body.
+	f.Add([]byte{1, 0, 0, 0, 13, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F})
+	f.Add([]byte{1, 0, 0, 0, 13, 2, 1, 'a'})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		if req, err := DecodeRequest(payload); err == nil && req.Op == OpMultiGet {
+			re := AppendRequest(nil, &req)
+			req2, err := DecodeRequest(re)
+			if err != nil {
+				t.Fatalf("re-encoded MULTIGET failed to decode: %v (payload %x)", err, re)
+			}
+			if !requestsEqual(&req, &req2) {
+				t.Fatalf("round trip changed MULTIGET:\n in  %+v\n out %+v", req, req2)
+			}
+		}
+		// The same bytes fed to the response-side value-list decoder.
+		vals, err := DecodeMultiGetValues(payload)
+		if err != nil {
+			return
+		}
+		re := AppendMultiGetValues(nil, vals)
+		vals2, err := DecodeMultiGetValues(re)
+		if err != nil {
+			t.Fatalf("re-encoded value list failed to decode: %v", err)
+		}
+		if len(vals2) != len(vals) {
+			t.Fatalf("round trip changed value count: %d != %d", len(vals2), len(vals))
+		}
+		for i := range vals {
+			if (vals[i] == nil) != (vals2[i] == nil) {
+				t.Fatalf("round trip changed absent/present at %d", i)
+			}
+			if !bytes.Equal(vals[i], vals2[i]) {
+				t.Fatalf("round trip changed value %d", i)
+			}
+		}
+	})
 }
 
 // FuzzDecodeResponse mirrors the request fuzzer for the client-side

@@ -85,22 +85,28 @@ type OpSnapshot = iostat.LatencySummary
 // Snapshot is a point-in-time copy of the server metrics, shaped for
 // JSON rendering on /metrics.
 type Snapshot struct {
-	UptimeSec      float64               `json:"uptime_sec"`
-	ConnsAccepted  int64                 `json:"conns_accepted"`
-	ConnsRejected  int64                 `json:"conns_rejected"`
-	ConnsActive    int64                 `json:"conns_active"`
-	Inflight       int64                 `json:"inflight"`
-	Throttled      int64                 `json:"throttled"`
-	ThrottleWaitMs float64               `json:"throttle_wait_ms"`
-	DecodeErrors   int64                 `json:"decode_errors"`
-	BytesIn        int64                 `json:"bytes_in"`
-	BytesOut       int64                 `json:"bytes_out"`
-	Ops            map[string]OpSnapshot `json:"ops"`
-	CommitQueue    int64                 `json:"commit_queue"`
-	CommitBatches  int64                 `json:"commit_batches"`
-	CommitOps      int64                 `json:"commit_ops"`
-	MeanBatchSize  float64               `json:"mean_batch_size"`
-	BatchSizeHist  map[string]int64      `json:"batch_size_hist"`
+	UptimeSec      float64 `json:"uptime_sec"`
+	ConnsAccepted  int64   `json:"conns_accepted"`
+	ConnsRejected  int64   `json:"conns_rejected"`
+	ConnsActive    int64   `json:"conns_active"`
+	Inflight       int64   `json:"inflight"`
+	Throttled      int64   `json:"throttled"`
+	ThrottleWaitMs float64 `json:"throttle_wait_ms"`
+	DecodeErrors   int64   `json:"decode_errors"`
+	BytesIn        int64   `json:"bytes_in"`
+	BytesOut       int64   `json:"bytes_out"`
+	// RespBufAllocs counts response-buffer pool misses (fresh buffers
+	// made); RespBufDrops counts oversized buffers released to the GC
+	// instead of retained. Both near-flat under steady load means the
+	// response path is allocation-free (see DESIGN.md).
+	RespBufAllocs int64                 `json:"resp_buf_allocs"`
+	RespBufDrops  int64                 `json:"resp_buf_drops"`
+	Ops           map[string]OpSnapshot `json:"ops"`
+	CommitQueue   int64                 `json:"commit_queue"`
+	CommitBatches int64                 `json:"commit_batches"`
+	CommitOps     int64                 `json:"commit_ops"`
+	MeanBatchSize float64               `json:"mean_batch_size"`
+	BatchSizeHist map[string]int64      `json:"batch_size_hist"`
 }
 
 // Snapshot copies the current metric values.
@@ -116,6 +122,8 @@ func (m *Metrics) Snapshot() Snapshot {
 		DecodeErrors:   m.DecodeErrors.Load(),
 		BytesIn:        m.BytesIn.Load(),
 		BytesOut:       m.BytesOut.Load(),
+		RespBufAllocs:  respBufAllocs.Load(),
+		RespBufDrops:   respBufDrops.Load(),
 		Ops:            map[string]OpSnapshot{},
 		CommitQueue:    m.CommitQueue.Load(),
 		CommitBatches:  m.CommitBatches.Load(),

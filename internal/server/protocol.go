@@ -19,20 +19,27 @@
 // hanging up, so clients must never assign it to a request. Request
 // bodies use the engine's uvarint length-prefixed byte strings:
 //
-//	GET    key
-//	PUT    key value
-//	DELETE key
-//	SCAN   lo hi uvarint(limit)          // limit 0 = server default
-//	BATCH  uvarint(n) then n× (uint8 kind, key[, value])  // kind 0=put 1=delete
-//	STATS  (empty)
-//	PING   (empty)
-//	TRACE  key
+//	GET        key
+//	PUT        key value
+//	DELETE     key
+//	SCAN       lo hi uvarint(limit)      // limit 0 = server default
+//	BATCH      uvarint(n) then n× (uint8 kind, key[, value])  // kind 0=put 1=delete
+//	STATS      (empty)
+//	PING       (empty)
+//	TRACE      key
+//	MULTIGET   uvarint(n) then n× key    // batched point reads
+//	SCANSTREAM lo hi uvarint(limit)      // server-streamed scan
 //
 // Response bodies: GET returns the raw value; SCAN returns uint8(more),
 // uvarint(count), then count× (key value); STATS returns JSON; TRACE
 // returns the JSON-encoded read-path trace (StatusOK even when the key is
-// absent — the trace itself reports found/not-found); error statuses
-// carry the message as raw bytes.
+// absent — the trace itself reports found/not-found); MULTIGET returns
+// uvarint(n), then n× (uint8 found[, value]) aligned with the request's
+// keys; error statuses carry the message as raw bytes. SCANSTREAM answers
+// with an open-ended sequence of SCAN-shaped frames on the request's ID —
+// more=1 means another frame follows, the frame with more=0 ends the
+// stream — so a full scan costs one request instead of one round trip per
+// page.
 package server
 
 import (
@@ -78,8 +85,18 @@ const (
 	// content at a sequence vector (response Value is replica.Tree
 	// JSON); equal trees on primary and follower mean zero divergence.
 	OpMerkle Opcode = 12
+	// OpMultiGet batches point reads: the body is a counted key list and
+	// the response carries found/value slots aligned with it. One frame
+	// each way amortizes framing, syscalls, and scheduling across the
+	// batch, and the server fans the keys out to their shards in parallel.
+	OpMultiGet Opcode = 13
+	// OpScanStream is SCAN answered as an open-ended stream of SCAN-shaped
+	// frames on this request's ID instead of one bounded page. Like
+	// REPLSYNC the stream occupies the connection's read loop until the
+	// final (more=0) frame.
+	OpScanStream Opcode = 14
 	// opMax bounds the per-opcode metric arrays.
-	opMax = 13
+	opMax = 15
 )
 
 func (o Opcode) String() string {
@@ -108,6 +125,10 @@ func (o Opcode) String() string {
 		return "getseq"
 	case OpMerkle:
 		return "merkle"
+	case OpMultiGet:
+		return "multiget"
+	case OpScanStream:
+		return "scanstream"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(o))
 	}
@@ -175,6 +196,8 @@ type Request struct {
 	// Seqs is the per-shard sequence vector: REPLSYNC watermarks, or the
 	// MERKLE pin point (empty = current).
 	Seqs []uint64
+	// Keys is the MULTIGET key batch.
+	Keys [][]byte
 	// Buckets is the MERKLE bucket count (0 = server default).
 	Buckets uint64
 }
@@ -269,6 +292,15 @@ func AppendRequest(dst []byte, req *Request) []byte {
 	case OpMerkle:
 		dst = binary.AppendUvarint(dst, req.Buckets)
 		dst = appendSeqVector(dst, req.Seqs)
+	case OpMultiGet:
+		dst = binary.AppendUvarint(dst, uint64(len(req.Keys)))
+		for _, k := range req.Keys {
+			dst = kv.AppendLengthPrefixed(dst, k)
+		}
+	case OpScanStream:
+		dst = kv.AppendLengthPrefixed(dst, req.Lo)
+		dst = kv.AppendLengthPrefixed(dst, req.Hi)
+		dst = binary.AppendUvarint(dst, req.Limit)
 	}
 	return dst
 }
@@ -402,6 +434,38 @@ func DecodeRequest(payload []byte) (Request, error) {
 		if req.Seqs, body, ok = decodeSeqVector(body); !ok {
 			return req, ErrMalformed
 		}
+	case OpMultiGet:
+		count, w := binary.Uvarint(body)
+		if w <= 0 {
+			return req, ErrMalformed
+		}
+		body = body[w:]
+		// Every key consumes at least 2 bytes (length prefix + one byte —
+		// empty keys are rejected below), so a larger count is a lie;
+		// checking before allocating bounds the slice by the frame.
+		if count > uint64(len(body)/2+1) {
+			return req, ErrMalformed
+		}
+		req.Keys = make([][]byte, 0, count)
+		for i := uint64(0); i < count; i++ {
+			var k []byte
+			if k, body, ok = kv.DecodeLengthPrefixed(body); !ok || len(k) == 0 {
+				return req, ErrMalformed
+			}
+			req.Keys = append(req.Keys, k)
+		}
+	case OpScanStream:
+		if req.Lo, body, ok = kv.DecodeLengthPrefixed(body); !ok {
+			return req, ErrMalformed
+		}
+		if req.Hi, body, ok = kv.DecodeLengthPrefixed(body); !ok {
+			return req, ErrMalformed
+		}
+		var w int
+		if req.Limit, w = binary.Uvarint(body); w <= 0 {
+			return req, ErrMalformed
+		}
+		body = body[w:]
 	default:
 		return req, ErrMalformed
 	}
@@ -476,6 +540,72 @@ func DecodeResponse(payload []byte, scan bool) (Response, error) {
 		return resp, ErrMalformed
 	}
 	return resp, nil
+}
+
+// MULTIGET response value slots.
+const (
+	wireMultiGetAbsent = 0
+	wireMultiGetFound  = 1
+)
+
+// AppendMultiGetValues encodes a MULTIGET response body: uvarint count,
+// then one (uint8 found[, length-prefixed value]) slot per requested key,
+// in request order. A nil value encodes as absent; an empty non-nil value
+// round-trips as found-and-empty.
+func AppendMultiGetValues(dst []byte, vals [][]byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(vals)))
+	for _, v := range vals {
+		if v == nil {
+			dst = append(dst, wireMultiGetAbsent)
+			continue
+		}
+		dst = append(dst, wireMultiGetFound)
+		dst = kv.AppendLengthPrefixed(dst, v)
+	}
+	return dst
+}
+
+// DecodeMultiGetValues parses a MULTIGET response body. Returned slices
+// alias body; absent keys decode as nil entries. The allocation is
+// bounded by the body regardless of the claimed count.
+func DecodeMultiGetValues(body []byte) ([][]byte, error) {
+	count, w := binary.Uvarint(body)
+	if w <= 0 {
+		return nil, ErrMalformed
+	}
+	body = body[w:]
+	// Every slot consumes at least the found byte.
+	if count > uint64(len(body)+1) {
+		return nil, ErrMalformed
+	}
+	vals := make([][]byte, 0, count)
+	for i := uint64(0); i < count; i++ {
+		if len(body) < 1 {
+			return nil, ErrMalformed
+		}
+		found := body[0]
+		body = body[1:]
+		switch found {
+		case wireMultiGetAbsent:
+			vals = append(vals, nil)
+		case wireMultiGetFound:
+			var v []byte
+			var ok bool
+			if v, body, ok = kv.DecodeLengthPrefixed(body); !ok {
+				return nil, ErrMalformed
+			}
+			if v == nil {
+				v = []byte{}
+			}
+			vals = append(vals, v)
+		default:
+			return nil, ErrMalformed
+		}
+	}
+	if len(body) != 0 {
+		return nil, ErrMalformed
+	}
+	return vals, nil
 }
 
 // ShardSeq locates one acknowledged write in the engine's history: the

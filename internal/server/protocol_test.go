@@ -46,6 +46,9 @@ func TestRequestRoundTrip(t *testing.T) {
 			core.DeleteOp([]byte("b")),
 			core.PutOp([]byte("c"), nil),
 		}},
+		{ID: 10, Op: OpMultiGet, Keys: [][]byte{[]byte("a"), []byte("bb"), []byte("ccc")}},
+		{ID: 11, Op: OpScanStream, Lo: []byte("a"), Hi: []byte("z"), Limit: 7},
+		{ID: 12, Op: OpScanStream, Lo: nil, Hi: nil, Limit: 0},
 	}
 	for _, want := range cases {
 		got := roundTripRequest(t, want)
@@ -64,6 +67,14 @@ func TestRequestRoundTrip(t *testing.T) {
 				!bytes.Equal(got.Ops[i].Key, want.Ops[i].Key) ||
 				!bytes.Equal(got.Ops[i].Value, want.Ops[i].Value) {
 				t.Fatalf("op %d mismatch: got %+v want %+v", i, got.Ops[i], want.Ops[i])
+			}
+		}
+		if len(got.Keys) != len(want.Keys) {
+			t.Fatalf("keys mismatch: got %d want %d", len(got.Keys), len(want.Keys))
+		}
+		for i := range got.Keys {
+			if !bytes.Equal(got.Keys[i], want.Keys[i]) {
+				t.Fatalf("key %d mismatch: got %q want %q", i, got.Keys[i], want.Keys[i])
 			}
 		}
 	}
@@ -118,9 +129,64 @@ func TestDecodeRequestMalformed(t *testing.T) {
 		"batch bad kind":     append([]byte{0, 0, 0, 0, byte(OpBatch)}, 1, 7, 1, 'k'),
 		"batch truncated":    append([]byte{0, 0, 0, 0, byte(OpBatch)}, 2, 0, 1, 'k', 0),
 		"key length overrun": append([]byte{0, 0, 0, 0, byte(OpGet)}, 200),
+
+		"multiget missing count": {0, 0, 0, 0, byte(OpMultiGet)},
+		"multiget lying count":   append([]byte{0, 0, 0, 0, byte(OpMultiGet)}, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F),
+		"multiget empty key":     append([]byte{0, 0, 0, 0, byte(OpMultiGet)}, 1, 0),
+		"multiget truncated key": append([]byte{0, 0, 0, 0, byte(OpMultiGet)}, 2, 1, 'a', 5, 'b'),
+		"multiget trailing junk": append([]byte{0, 0, 0, 0, byte(OpMultiGet)}, 1, 1, 'k', 0xAA),
+
+		"scanstream missing limit": append([]byte{0, 0, 0, 0, byte(OpScanStream)}, 1, 'a', 1, 'z'),
+		"scanstream truncated hi":  append([]byte{0, 0, 0, 0, byte(OpScanStream)}, 1, 'a', 9, 'z'),
+		"scanstream trailing junk": append([]byte{0, 0, 0, 0, byte(OpScanStream)}, 0, 0, 0, 1),
 	}
 	for name, payload := range cases {
 		if _, err := DecodeRequest(payload); !errors.Is(err, ErrMalformed) {
+			t.Errorf("%s: want ErrMalformed, got %v", name, err)
+		}
+	}
+}
+
+// TestMultiGetValuesRoundTrip pins the MULTIGET response body: values
+// round trip aligned and the absent (nil) versus present-but-empty
+// ([]byte{}) distinction survives the wire.
+func TestMultiGetValuesRoundTrip(t *testing.T) {
+	cases := [][][]byte{
+		nil,
+		{nil},
+		{[]byte("v")},
+		{nil, {}, []byte("value"), nil, []byte("x")},
+	}
+	for _, want := range cases {
+		got, err := DecodeMultiGetValues(AppendMultiGetValues(nil, want))
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("count mismatch: got %d want %d", len(got), len(want))
+		}
+		for i := range want {
+			if (got[i] == nil) != (want[i] == nil) {
+				t.Fatalf("slot %d absent/present changed: got %v want %v", i, got[i], want[i])
+			}
+			if !bytes.Equal(got[i], want[i]) {
+				t.Fatalf("slot %d value changed: got %q want %q", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestDecodeMultiGetValuesMalformed(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":           {},
+		"lying count":     {0xFF, 0xFF, 0xFF, 0xFF, 0x0F},
+		"missing marker":  {1},
+		"bad marker":      {1, 9},
+		"truncated value": {1, 1, 5, 'v'},
+		"trailing junk":   {1, 0, 0xAA},
+	}
+	for name, body := range cases {
+		if _, err := DecodeMultiGetValues(body); !errors.Is(err, ErrMalformed) {
 			t.Errorf("%s: want ErrMalformed, got %v", name, err)
 		}
 	}

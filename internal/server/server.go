@@ -76,6 +76,26 @@ type MerkleEngine interface {
 	MerkleAt(buckets int, seqs []uint64) (*replica.Tree, error)
 }
 
+// AppendGetter is the optional interface for engines whose point reads
+// can append the value into a caller-supplied buffer (core, shard, and
+// the public facade all do). The server uses it to encode GET responses
+// straight into pooled response buffers — the wire side of the
+// zero-allocation read path.
+type AppendGetter interface {
+	// GetAppend appends the value to dst and returns the extended slice;
+	// on any error (including not-found) dst is returned unchanged.
+	GetAppend(key, dst []byte) ([]byte, error)
+}
+
+// MultiGetter is the optional interface for engines that serve batched
+// point reads natively (the MULTIGET opcode). The public *lsmkv.DB
+// implements it with per-shard parallel fan-out; engines without it get
+// a sequential per-key fallback.
+type MultiGetter interface {
+	// MultiGet returns values aligned with keys; nil entries mean absent.
+	MultiGet(keys [][]byte) ([][]byte, error)
+}
+
 // TunerEngine is the optional interface for engines running the online
 // self-tuner (the public *lsmkv.DB). It surfaces per-shard tuner status
 // in STATS//metrics and powers `lsmctl tune status`.
@@ -188,6 +208,8 @@ type Server struct {
 	ckptEng   CheckpointEngine
 	merkleEng MerkleEngine
 	tunerEng  TunerEngine
+	multiEng  MultiGetter
+	appendEng AppendGetter
 	bucket    *TokenBucket // nil when unlimited
 	// events records serving-layer incidents (sheds, rejected
 	// connections, drain); engine events live in the engine's own ring.
@@ -224,6 +246,12 @@ func New(cfg Config) (*Server, error) {
 	}
 	if te, ok := cfg.DB.(TunerEngine); ok {
 		s.tunerEng = te
+	}
+	if mg, ok := cfg.DB.(MultiGetter); ok {
+		s.multiEng = mg
+	}
+	if ag, ok := cfg.DB.(AppendGetter); ok {
+		s.appendEng = ag
 	}
 	if se, ok := cfg.DB.(ShardedEngine); ok && se.NumShards() > 1 {
 		s.sharded = se

@@ -1,0 +1,184 @@
+package shard
+
+import (
+	"bytes"
+	"testing"
+
+	"lsmkv/internal/core"
+	"lsmkv/internal/vfs"
+)
+
+// TestGetAppend checks that the append-style point read returns the same
+// bytes as Get, appended after the caller's prefix, across every shard.
+func TestGetAppend(t *testing.T) {
+	fs := vfs.NewMem()
+	db := openShards(t, fs, "db", 4)
+	defer db.Close()
+
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := db.Put(tkey(i), tval(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	prefix := []byte("pre/")
+	for i := 0; i < n; i++ {
+		got, err := db.GetAppend(tkey(i), append([]byte(nil), prefix...))
+		if err != nil {
+			t.Fatalf("GetAppend(%q): %v", tkey(i), err)
+		}
+		want := append(append([]byte(nil), prefix...), tval(i)...)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("GetAppend(%q) = %q, want %q", tkey(i), got, want)
+		}
+	}
+	if _, err := db.GetAppend([]byte("absent"), nil); err != core.ErrNotFound {
+		t.Fatalf("GetAppend(absent) err = %v, want ErrNotFound", err)
+	}
+}
+
+// runMultiGetChecks exercises MultiGet against a sequential-Get oracle on
+// a db with shards already holding keys 0..n-1 (every 7th key deleted,
+// every 13th rewritten empty).
+func runMultiGetChecks(t *testing.T, db *DB, n int) {
+	t.Helper()
+
+	// A batch mixing present, absent, empty-valued, and duplicate keys,
+	// in an order that scatters across shards.
+	var keys [][]byte
+	for i := 0; i < n; i += 3 {
+		keys = append(keys, tkey(i))
+	}
+	keys = append(keys, []byte("never-written"), tkey(1), tkey(1))
+
+	vals, err := db.MultiGet(keys)
+	if err != nil {
+		t.Fatalf("MultiGet: %v", err)
+	}
+	if len(vals) != len(keys) {
+		t.Fatalf("MultiGet returned %d values for %d keys", len(vals), len(keys))
+	}
+	for i, k := range keys {
+		want, werr := db.Get(k)
+		switch werr {
+		case nil:
+			if vals[i] == nil {
+				t.Fatalf("key %q: MultiGet absent, Get found %q", k, want)
+			}
+			if !bytes.Equal(vals[i], want) {
+				t.Fatalf("key %q: MultiGet %q, Get %q", k, vals[i], want)
+			}
+		case core.ErrNotFound:
+			if vals[i] != nil {
+				t.Fatalf("key %q: MultiGet found %q, Get absent", k, vals[i])
+			}
+		default:
+			t.Fatalf("Get(%q): %v", k, werr)
+		}
+	}
+
+	// Empty-valued keys must come back as non-nil empty slices (found),
+	// never as nil (absent).
+	empties, err := db.MultiGet([][]byte{tkey(13), tkey(26)})
+	if err != nil {
+		t.Fatalf("MultiGet(empties): %v", err)
+	}
+	for i, v := range empties {
+		if v == nil || len(v) != 0 {
+			t.Fatalf("empty-valued key %d: got %v, want non-nil empty", i, v)
+		}
+	}
+
+	// Empty batch is a no-op.
+	if vals, err := db.MultiGet(nil); err != nil || len(vals) != 0 {
+		t.Fatalf("MultiGet(nil) = %v, %v", vals, err)
+	}
+}
+
+func seedMultiGet(t *testing.T, db *DB, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if err := db.Put(tkey(i), tval(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i += 7 {
+		if err := db.Delete(tkey(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 13; i < n; i += 13 {
+		if err := db.Put(tkey(i), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestMultiGet(t *testing.T) {
+	const n = 300
+	for _, shards := range []int{1, 4} {
+		fs := vfs.NewMem()
+		db := openShards(t, fs, "db", shards)
+		seedMultiGet(t, db, n)
+		runMultiGetChecks(t, db, n)
+		db.Close()
+	}
+}
+
+// TestMultiGetTraced checks value agreement with MultiGet plus the trace
+// contract: one trace per key, absent keys included, shard stamped.
+func TestMultiGetTraced(t *testing.T) {
+	fs := vfs.NewMem()
+	db := openShards(t, fs, "db", 4)
+	defer db.Close()
+	const n = 120
+	seedMultiGet(t, db, n)
+
+	keys := [][]byte{tkey(1), tkey(7), tkey(2), []byte("never-written"), tkey(1)}
+	vals, trs, err := db.MultiGetTraced(keys)
+	if err != nil {
+		t.Fatalf("MultiGetTraced: %v", err)
+	}
+	if len(vals) != len(keys) || len(trs) != len(keys) {
+		t.Fatalf("got %d vals, %d traces for %d keys", len(vals), len(trs), len(keys))
+	}
+	plain, err := db.MultiGet(keys)
+	if err != nil {
+		t.Fatalf("MultiGet: %v", err)
+	}
+	for i := range keys {
+		if !bytes.Equal(vals[i], plain[i]) {
+			t.Fatalf("key %q: traced %q, plain %q", keys[i], vals[i], plain[i])
+		}
+		if trs[i] == nil {
+			t.Fatalf("key %q: nil trace", keys[i])
+		}
+		if want := Of(keys[i], db.NumShards()); trs[i].Shard != want {
+			t.Fatalf("key %q: trace shard %d, want %d", keys[i], trs[i].Shard, want)
+		}
+	}
+	if vals[1] != nil || vals[3] != nil {
+		t.Fatalf("deleted/absent keys returned values: %q, %q", vals[1], vals[3])
+	}
+}
+
+// TestMultiGetClosed checks that engine errors (not absence) propagate
+// out of both the single-shard and fanned-out paths.
+func TestMultiGetClosed(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		fs := vfs.NewMem()
+		db := openShards(t, fs, "db", shards)
+		if err := db.Put(tkey(1), tval(1)); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.MultiGet([][]byte{tkey(1), tkey(2), tkey(3)}); err != core.ErrClosed {
+			t.Fatalf("shards=%d: MultiGet on closed db: err = %v, want ErrClosed", shards, err)
+		}
+		if _, _, err := db.MultiGetTraced([][]byte{tkey(1)}); err != core.ErrClosed {
+			t.Fatalf("shards=%d: MultiGetTraced on closed db: err = %v, want ErrClosed", shards, err)
+		}
+	}
+}

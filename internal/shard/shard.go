@@ -214,6 +214,110 @@ func (db *DB) GetTraced(key []byte) ([]byte, *iostat.Trace, error) {
 	return v, tr, err
 }
 
+// GetAppend is Get with the value appended to dst instead of freshly
+// allocated, routed to the owning shard (the zero-allocation read path).
+func (db *DB) GetAppend(key, dst []byte) ([]byte, error) {
+	return db.engines[Of(key, db.n)].GetAppend(key, dst)
+}
+
+// MultiGet looks up every key and returns values aligned with keys; a
+// nil entry with a nil error means that key was absent. Keys are grouped
+// by owning shard and the per-shard probe loops run in parallel, so one
+// batch amortizes routing and scheduling the way ApplyBatch amortizes
+// fsyncs. Duplicate keys are looked up once per occurrence.
+func (db *DB) MultiGet(keys [][]byte) ([][]byte, error) {
+	vals := make([][]byte, len(keys))
+	if db.n == 1 {
+		return vals, db.multiGetIdx(0, keys, vals, nil)
+	}
+	idxs := make([][]int, db.n)
+	for i, k := range keys {
+		s := Of(k, db.n)
+		idxs[s] = append(idxs[s], i)
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for s, ix := range idxs {
+		if len(ix) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s int, ix []int) {
+			defer wg.Done()
+			if err := db.multiGetIdx(s, keys, vals, ix); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(s, ix)
+	}
+	wg.Wait()
+	return vals, firstErr
+}
+
+// multiGetIdx probes shard s for keys[i] at each i in ix (all keys when
+// ix is nil), writing results into vals. Absent keys leave nil entries.
+func (db *DB) multiGetIdx(s int, keys, vals [][]byte, ix []int) error {
+	eng := db.engines[s]
+	get := func(i int) error {
+		v, err := eng.Get(keys[i])
+		switch err {
+		case nil:
+			if v == nil {
+				v = []byte{} // found-and-empty, distinct from absent
+			}
+			vals[i] = v
+		case core.ErrNotFound:
+		default:
+			return err
+		}
+		return nil
+	}
+	if ix == nil {
+		for i := range keys {
+			if err := get(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, i := range ix {
+		if err := get(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MultiGetTraced is MultiGet with one read-path trace per key (absent
+// keys included — the interesting case), each stamped with the serving
+// shard. The probes run sequentially so traces align with keys without
+// interleaving.
+func (db *DB) MultiGetTraced(keys [][]byte) ([][]byte, []*iostat.Trace, error) {
+	vals := make([][]byte, len(keys))
+	trs := make([]*iostat.Trace, len(keys))
+	for i, k := range keys {
+		v, tr, err := db.GetTraced(k)
+		switch err {
+		case nil:
+			if v == nil {
+				v = []byte{} // found-and-empty, distinct from absent
+			}
+			vals[i] = v
+		case core.ErrNotFound:
+		default:
+			return vals, trs, err
+		}
+		trs[i] = tr
+	}
+	return vals, trs, nil
+}
+
 // Put writes key=value to the owning shard.
 func (db *DB) Put(key, value []byte) error {
 	return db.engines[Of(key, db.n)].Put(key, value)

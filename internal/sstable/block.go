@@ -120,41 +120,59 @@ type block struct {
 // decodeBlock validates the CRC and splits the block into payload,
 // restart array, and optional hash index.
 func decodeBlock(raw []byte) (*block, error) {
+	blk := &block{}
+	if err := decodeBlockInto(blk, raw); err != nil {
+		return nil, err
+	}
+	return blk, nil
+}
+
+// decodeBlockInto is decodeBlock writing its result into a caller-owned
+// block, reusing the restart slice's capacity. The point-read hot path
+// feeds it pooled scratch so a cache-hit lookup decodes without
+// allocating.
+func decodeBlockInto(blk *block, raw []byte) error {
+	blk.data = nil
+	blk.hashIndex = fence.HashIndex{}
+	blk.hasHash = false
 	if len(raw) < blockTrailerLen+4 {
-		return nil, ErrCorruptBlock
+		return ErrCorruptBlock
 	}
 	crcOff := len(raw) - 4
 	want := binary.LittleEndian.Uint32(raw[crcOff:])
 	if crc32.Checksum(raw[:crcOff], crcTable) != want {
-		return nil, ErrChecksum
+		return ErrChecksum
 	}
 	flag := raw[crcOff-1]
 	body := raw[:crcOff-1]
-	blk := &block{}
 	if flag&blockFlagHashIndex != 0 {
 		idx, payloadLen, ok := fence.ParseHashIndex(body)
 		if !ok {
-			return nil, ErrCorruptBlock
+			return ErrCorruptBlock
 		}
 		blk.hashIndex = idx
 		blk.hasHash = true
 		body = body[:payloadLen]
 	}
 	if len(body) < 4 {
-		return nil, ErrCorruptBlock
+		return ErrCorruptBlock
 	}
 	n := binary.LittleEndian.Uint32(body[len(body)-4:])
 	body = body[:len(body)-4]
 	if uint32(len(body)) < n*4 {
-		return nil, ErrCorruptBlock
+		return ErrCorruptBlock
 	}
 	restartOff := len(body) - int(n)*4
 	blk.data = body[:restartOff]
-	blk.restarts = make([]uint32, n)
+	if cap(blk.restarts) >= int(n) {
+		blk.restarts = blk.restarts[:n]
+	} else {
+		blk.restarts = make([]uint32, n)
+	}
 	for i := range blk.restarts {
 		blk.restarts[i] = binary.LittleEndian.Uint32(body[restartOff+4*i:])
 	}
-	return blk, nil
+	return nil
 }
 
 // blockIter iterates the entries of one decoded block.
@@ -169,6 +187,18 @@ type blockIter struct {
 }
 
 func newBlockIter(b *block) *blockIter { return &blockIter{b: b} }
+
+// reset rebinds a (possibly pooled) iterator to a block, keeping the
+// decoded-key buffer's capacity so repeated lookups stop allocating.
+func (it *blockIter) reset(b *block) {
+	it.b = b
+	it.offset = 0
+	it.nextOff = 0
+	it.key = it.key[:0]
+	it.val = nil
+	it.valid = false
+	it.err = nil
+}
 
 // decodeEntryAt decodes the entry at off, extending it.key with prefix
 // compression relative to the current key state.
@@ -233,11 +263,16 @@ func (it *blockIter) Next() bool {
 
 // SeekGE positions at the first entry with internal key >= target.
 func (it *blockIter) SeekGE(target kv.InternalKey) bool {
+	return it.seekGEEnc(target.Encode(nil))
+}
+
+// seekGEEnc is SeekGE over a pre-encoded internal key, letting the hot
+// path reuse one encode buffer across blocks and runs.
+func (it *blockIter) seekGEEnc(enc []byte) bool {
 	if len(it.b.restarts) == 0 {
 		it.valid = false
 		return false
 	}
-	enc := target.Encode(nil)
 	// Binary search restarts: last restart whose key <= target.
 	lo, hi := 0, len(it.b.restarts)-1
 	for lo < hi {
@@ -255,12 +290,8 @@ func (it *blockIter) SeekGE(target kv.InternalKey) bool {
 	return it.scanFrom(lo, enc)
 }
 
-// seekGEFromRestart linear-scans from restart r for the first entry
-// >= target. Used by the hash-index fast path.
-func (it *blockIter) seekGEFromRestart(r int, target kv.InternalKey) bool {
-	return it.scanFrom(r, target.Encode(nil))
-}
-
+// scanFrom linear-scans from a restart point for the first entry >=
+// the encoded target. The hash-index fast path enters here directly.
 func (it *blockIter) scanFrom(restart int, encTarget []byte) bool {
 	if !it.seekRestart(restart) {
 		return false

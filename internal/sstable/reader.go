@@ -406,86 +406,10 @@ func (r *Reader) Get(userKey []byte, kh filter.KeyHash, seq kv.SeqNum) (value []
 // GetTraced is Get with the block-level work recorded into rt (when
 // non-nil): the fence/learned landing block, per-block partitioned filter
 // verdicts, and cache/read accounting. A nil rt makes it identical to Get.
+// Both delegate to GetAppend (see scratch.go), which recycles the decode
+// scratch and appends into a caller-supplied buffer.
 func (r *Reader) GetTraced(userKey []byte, kh filter.KeyHash, seq kv.SeqNum, rt *iostat.RunTrace) (value []byte, kind kv.Kind, found bool, err error) {
-	search := kv.MakeSearchKey(userKey, seq)
-	b := r.findStartBlock(userKey)
-	if rt != nil {
-		rt.StartBlock = b
-		rt.LearnedIndex = r.model != nil
-		if r.partitions != nil {
-			rt.Filter = iostat.FilterPartitioned
-		}
-	}
-	touched := false
-	for ; b < r.index.Len(); b++ {
-		// Once fences pass the user key, no later block can hold it.
-		if bytes.Compare(r.index.Entry(b).FirstKey, userKey) > 0 {
-			break
-		}
-		if r.partitions != nil {
-			if r.opts.Stats != nil {
-				r.opts.Stats.FilterProbes.Add(1)
-			}
-			if !r.partitions[b].MayContainHash(kh) {
-				if r.opts.Stats != nil {
-					r.opts.Stats.FilterNegatives.Add(1)
-				}
-				if rt != nil {
-					rt.PartitionNegatives++
-				}
-				continue
-			}
-		}
-		blk, err := r.readBlock(r.index.Entry(b).Handle, rt)
-		if err != nil {
-			return nil, 0, false, err
-		}
-		touched = true
-		if rt != nil {
-			rt.Blocks++
-		}
-		it := newBlockIter(blk)
-		var ok bool
-		if r.opts.UseBlockHashIndex && blk.hasHash {
-			restart, res := blk.hashIndex.Lookup(userKey)
-			switch res {
-			case fence.LookupMiss:
-				continue // definitely not in this block
-			case fence.LookupHit:
-				ok = it.seekGEFromRestart(restart, search)
-				// The hash index may point at the restart interval where
-				// the key lives, but the visible version can precede the
-				// search key within it; a miss here is authoritative for
-				// this block only.
-			default:
-				ok = it.SeekGE(search)
-			}
-		} else {
-			ok = it.SeekGE(search)
-		}
-		if it.Error() != nil {
-			return nil, 0, false, it.Error()
-		}
-		if !ok {
-			continue // exhausted this block; key may continue in the next
-		}
-		ik := it.Key()
-		if bytes.Equal(ik.UserKey, userKey) {
-			return append([]byte(nil), it.Value()...), ik.Kind, true, nil
-		}
-		break // landed on a later user key: no visible version exists
-	}
-	if touched {
-		// The filter (or absence of one) admitted the probe but the key
-		// was not here: a superfluous storage access.
-		if r.opts.Stats != nil {
-			r.opts.Stats.FilterFalsePositives.Add(1)
-		}
-		if rt != nil {
-			rt.FalsePositive = true
-		}
-	}
-	return nil, 0, false, nil
+	return r.GetAppend(userKey, kh, seq, nil, rt)
 }
 
 // NewIterator returns an iterator over the whole table.

@@ -1,0 +1,179 @@
+// Read-path scratch pooling: the per-lookup working set of a point read
+// (decoded block view, restart array, block iterator, encoded search
+// key, and — when no block cache owns the bytes — the raw block buffer)
+// is recycled through a sync.Pool so a cache-hit Get allocates nothing.
+
+package sstable
+
+import (
+	"bytes"
+	"sync"
+
+	"lsmkv/internal/fence"
+	"lsmkv/internal/filter"
+	"lsmkv/internal/iostat"
+	"lsmkv/internal/kv"
+)
+
+// readScratch bundles everything a single point lookup needs to borrow.
+// It is reused across the blocks of one lookup and, via scratchPool,
+// across lookups; nothing in it may escape GetAppend.
+type readScratch struct {
+	blk    block
+	it     blockIter
+	search []byte // encoded internal search key
+	raw    []byte // block read buffer (cache-less path only)
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(readScratch) }}
+
+// putReadScratch drops the borrowed views into cached/raw bytes (so the
+// pool does not pin evicted blocks) and recycles the scratch.
+func putReadScratch(sc *readScratch) {
+	sc.blk.data = nil
+	sc.blk.hashIndex = fence.HashIndex{}
+	sc.blk.hasHash = false
+	sc.it.b = nil
+	sc.it.val = nil
+	scratchPool.Put(sc)
+}
+
+// readBlockInto is readBlock decoding into pooled scratch instead of a
+// fresh block. On the cache-hit path it performs no allocation; on a
+// miss with a cache configured it allocates only the raw buffer the
+// cache takes ownership of; with no cache it reuses the scratch's own
+// read buffer.
+func (r *Reader) readBlockInto(sc *readScratch, h fence.BlockHandle, rt *iostat.RunTrace) error {
+	c := r.opts.Cache
+	if c != nil {
+		if cached, ok := c.Get(r.opts.FileNum, h.Offset); ok {
+			if r.opts.Stats != nil {
+				r.opts.Stats.BlockCacheHits.Add(1)
+			}
+			if rt != nil {
+				rt.CacheHits++
+			}
+			return decodeBlockInto(&sc.blk, cached)
+		}
+		if r.opts.Stats != nil {
+			r.opts.Stats.BlockCacheMisses.Add(1)
+		}
+		if rt != nil {
+			rt.CacheMisses++
+		}
+	}
+	var raw []byte
+	if c != nil {
+		// The cache takes ownership of inserted bytes, so they must be
+		// freshly allocated.
+		raw = make([]byte, h.Length)
+	} else if uint64(cap(sc.raw)) >= h.Length {
+		raw = sc.raw[:h.Length]
+	} else {
+		raw = make([]byte, h.Length)
+		sc.raw = raw
+	}
+	if _, err := r.f.ReadAt(raw, int64(h.Offset)); err != nil {
+		return err
+	}
+	if r.opts.Stats != nil {
+		r.opts.Stats.BlockReads.Add(1)
+		r.opts.Stats.BytesRead.Add(int64(h.Length))
+	}
+	if rt != nil {
+		rt.BlockReads++
+	}
+	if c != nil {
+		c.Insert(r.opts.FileNum, h.Offset, raw)
+	}
+	return decodeBlockInto(&sc.blk, raw)
+}
+
+// GetAppend is Get with the found value appended to dst (which may be
+// nil) instead of freshly allocated, and the block-level work recorded
+// into rt when non-nil. It is the engine's steady-state point-read
+// entry: with the target block resident in the cache it performs zero
+// heap allocations.
+func (r *Reader) GetAppend(userKey []byte, kh filter.KeyHash, seq kv.SeqNum, dst []byte, rt *iostat.RunTrace) (value []byte, kind kv.Kind, found bool, err error) {
+	sc := scratchPool.Get().(*readScratch)
+	defer putReadScratch(sc)
+	sc.search = kv.MakeSearchKey(userKey, seq).Encode(sc.search[:0])
+	b := r.findStartBlock(userKey)
+	if rt != nil {
+		rt.StartBlock = b
+		rt.LearnedIndex = r.model != nil
+		if r.partitions != nil {
+			rt.Filter = iostat.FilterPartitioned
+		}
+	}
+	touched := false
+	for ; b < r.index.Len(); b++ {
+		// Once fences pass the user key, no later block can hold it.
+		if bytes.Compare(r.index.Entry(b).FirstKey, userKey) > 0 {
+			break
+		}
+		if r.partitions != nil {
+			if r.opts.Stats != nil {
+				r.opts.Stats.FilterProbes.Add(1)
+			}
+			if !r.partitions[b].MayContainHash(kh) {
+				if r.opts.Stats != nil {
+					r.opts.Stats.FilterNegatives.Add(1)
+				}
+				if rt != nil {
+					rt.PartitionNegatives++
+				}
+				continue
+			}
+		}
+		if err := r.readBlockInto(sc, r.index.Entry(b).Handle, rt); err != nil {
+			return dst, 0, false, err
+		}
+		touched = true
+		if rt != nil {
+			rt.Blocks++
+		}
+		it := &sc.it
+		it.reset(&sc.blk)
+		var ok bool
+		if r.opts.UseBlockHashIndex && sc.blk.hasHash {
+			restart, res := sc.blk.hashIndex.Lookup(userKey)
+			switch res {
+			case fence.LookupMiss:
+				continue // definitely not in this block
+			case fence.LookupHit:
+				ok = it.scanFrom(restart, sc.search)
+				// The hash index may point at the restart interval where
+				// the key lives, but the visible version can precede the
+				// search key within it; a miss here is authoritative for
+				// this block only.
+			default:
+				ok = it.seekGEEnc(sc.search)
+			}
+		} else {
+			ok = it.seekGEEnc(sc.search)
+		}
+		if it.Error() != nil {
+			return dst, 0, false, it.Error()
+		}
+		if !ok {
+			continue // exhausted this block; key may continue in the next
+		}
+		ik := it.Key()
+		if bytes.Equal(ik.UserKey, userKey) {
+			return append(dst, it.val...), ik.Kind, true, nil
+		}
+		break // landed on a later user key: no visible version exists
+	}
+	if touched {
+		// The filter (or absence of one) admitted the probe but the key
+		// was not here: a superfluous storage access.
+		if r.opts.Stats != nil {
+			r.opts.Stats.FilterFalsePositives.Add(1)
+		}
+		if rt != nil {
+			rt.FalsePositive = true
+		}
+	}
+	return dst, 0, false, nil
+}

@@ -435,6 +435,25 @@ func (db *DB) Put(key, value []byte) error { return db.inner.Put(key, value) }
 // Get returns the newest value of key, or ErrNotFound.
 func (db *DB) Get(key []byte) ([]byte, error) { return db.inner.Get(key) }
 
+// GetAppend is Get with the value appended to dst (which may be nil)
+// instead of freshly allocated, returning the extended slice. Reusing
+// one dst buffer across lookups makes the steady-state (cache-hit) read
+// path allocation-free; see DESIGN.md "Read path allocations".
+func (db *DB) GetAppend(key, dst []byte) ([]byte, error) { return db.inner.GetAppend(key, dst) }
+
+// MultiGet looks up a batch of keys in one call and returns values
+// aligned with keys; a nil entry with a nil error means that key was
+// absent. Keys are routed to their owning shards and probed in parallel
+// per shard, amortizing batch overheads the way ApplyBatch amortizes
+// fsyncs. The MULTIGET wire opcode maps directly onto this.
+func (db *DB) MultiGet(keys [][]byte) ([][]byte, error) { return db.inner.MultiGet(keys) }
+
+// MultiGetTraced is MultiGet with one read-path trace per key, absent
+// keys included. Tracing allocates; use it for diagnostics.
+func (db *DB) MultiGetTraced(keys [][]byte) ([][]byte, []*Trace, error) {
+	return db.inner.MultiGetTraced(keys)
+}
+
 // Trace is the record of one traced point lookup: every buffer and sorted
 // run consulted, how each screened the probe, and the block-level work.
 type Trace = iostat.Trace

@@ -1,0 +1,117 @@
+package lsmkv
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"lsmkv/internal/workload"
+)
+
+// TestMultiGetZipfianBatches drives MultiGet with workload-generated
+// Zipfian batches — hot keys repeat within a single batch, the way a
+// real cache-unfriendly read mix produces them — and holds the batch
+// path to the sequential oracle: every batch must return exactly what
+// N individual Gets return, across memtable, flushed runs, and absent
+// keys. The traced variant must report a per-key read-path trace whose
+// filter and cache decisions are populated for keys that went to disk.
+func TestMultiGetZipfianBatches(t *testing.T) {
+	opts := Default()
+	opts.MemtableBytes = 32 << 10 // force flushes: reads span real runs
+	db, err := Open(t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	const nKeys = 4000
+	for i := int64(0); i < nKeys; i++ {
+		k := workload.ScrambleKey(i, nKeys)
+		if err := db.Put(workload.Key(k), workload.Value(k, 48)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	gen := workload.NewKeyGen(workload.Zipfian, nKeys, 0.99, 42)
+	const batches, batchSize = 20, 64
+	for b := 0; b < batches; b++ {
+		keys := make([][]byte, 0, batchSize)
+		for len(keys) < batchSize {
+			id := gen.Next()
+			if len(keys)%8 == 7 {
+				// Every eighth slot asks for a key that was never written.
+				keys = append(keys, []byte(fmt.Sprintf("absent-%06d", id)))
+				continue
+			}
+			keys = append(keys, workload.Key(id))
+		}
+
+		vals, err := db.MultiGet(keys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(vals) != len(keys) {
+			t.Fatalf("batch %d: %d values for %d keys", b, len(vals), len(keys))
+		}
+		// Oracle: the same keys, one sequential Get each.
+		for i, k := range keys {
+			want, err := db.Get(k)
+			switch {
+			case errors.Is(err, ErrNotFound):
+				if vals[i] != nil {
+					t.Fatalf("batch %d key %q: MultiGet %q, Get says absent", b, k, vals[i])
+				}
+			case err != nil:
+				t.Fatal(err)
+			default:
+				if vals[i] == nil {
+					t.Fatalf("batch %d key %q: MultiGet says absent, Get %q", b, k, want)
+				}
+				if !bytes.Equal(vals[i], want) {
+					t.Fatalf("batch %d key %q: MultiGet %q != Get %q", b, k, vals[i], want)
+				}
+			}
+		}
+	}
+
+	// The traced batch: one trace per key, populated even for misses,
+	// with per-run filter verdicts and cache accounting for disk probes.
+	hot := workload.Key(gen.Next())
+	keys := [][]byte{hot, []byte("absent-trace"), hot, workload.Key(0)}
+	vals, traces, err := db.MultiGetTraced(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != len(keys) || len(traces) != len(keys) {
+		t.Fatalf("traced batch: %d values, %d traces for %d keys", len(vals), len(traces), len(keys))
+	}
+	probedARun := false
+	for i, tr := range traces {
+		if tr == nil {
+			t.Fatalf("key %d (%q): nil trace", i, keys[i])
+		}
+		if vals[i] != nil && tr.Source == "" {
+			t.Fatalf("key %q found but trace names no source:\n%s", keys[i], tr.String())
+		}
+		for _, r := range tr.Runs {
+			if r.Decision == "" {
+				t.Fatalf("key %q: run (L%d r%d) probed without a decision:\n%s",
+					keys[i], r.Level, r.Run, tr.String())
+			}
+			if r.Filter != "" {
+				probedARun = true
+			}
+		}
+	}
+	// The hot key repeats in the batch: both probes must agree.
+	if !bytes.Equal(vals[0], vals[2]) {
+		t.Fatalf("repeated hot key disagreed within one batch: %q vs %q", vals[0], vals[2])
+	}
+	if vals[1] != nil {
+		t.Fatalf("absent key in traced batch came back %q", vals[1])
+	}
+	if !probedARun {
+		t.Fatal("no trace recorded a filter verdict: reads never reached a sorted run")
+	}
+}
