@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race crash bench bench-server bench-stall bench-shards bench-replica bench-tune bench-read experiments examples fuzz serve clean cover fmt-check doc-check doc-links
+.PHONY: all build test race crash bench bench-server bench-stall bench-shards bench-replica bench-tune bench-read bench-ycsb experiments examples fuzz serve clean cover fmt-check doc-check doc-links
 
 all: build test
 
@@ -37,9 +37,11 @@ doc-check:
 	done; exit $$fail
 
 # Documentation cross-checks: every .md cross-reference must resolve to a
-# real file, and every flag OPERATIONS.md names must exist in the shipped
+# real file, every flag OPERATIONS.md names must exist in the shipped
 # binaries' -help output (the binaries are built and their help captured,
-# so a renamed flag fails the build).
+# so a renamed flag fails the build), and PROTOCOL.md's opcode table must
+# agree with the Op* constants in internal/server/protocol.go on every
+# name and value, in both directions.
 doc-links:
 	@tmp=$$(mktemp -d); trap "rm -rf $$tmp" EXIT; \
 	for c in lsmserver lsmctl lsmtune; do \
@@ -47,6 +49,7 @@ doc-links:
 		$$tmp/$$c -h 2>$$tmp/$$c.help || true; \
 	done; \
 	$(GO) run ./cmd/doccheck -root . -ops OPERATIONS.md \
+		-protocol PROTOCOL.md -protosrc internal/server/protocol.go \
 		$$tmp/lsmserver.help $$tmp/lsmctl.help $$tmp/lsmtune.help \
 		&& echo "doc-links: OK"
 
@@ -133,6 +136,14 @@ bench-read:
 	$(GO) run ./cmd/lsmbench -e E18 | tee -a bench_results.txt
 	$(GO) test . -run xxx -bench 'BenchmarkDBGet' -benchtime 2000x -benchmem | tee -a bench_results.txt
 
+# YCSB core mixes (A/B/C/D/F) over one engine configuration — throughput
+# and read/write p99 per mix — plus the TTL lifecycle demo: leases serve
+# before expiry, read absent after, and bottommost compaction reclaims
+# the bytes (footprint shrink, ExpiredDrops > 0). Experiment E19.
+# Appends to bench_results.txt so before/after runs accumulate.
+bench-ycsb:
+	$(GO) run ./cmd/lsmbench -e E19 | tee -a bench_results.txt
+
 # Group-commit microbench: coalesced vs per-op-sync committer over the
 # full network stack (see bench_results.txt for a recorded run).
 bench-server:
@@ -156,6 +167,7 @@ fuzz:
 	$(GO) test ./internal/server/ -fuzz FuzzDecodeRequest -fuzztime 30s
 	$(GO) test ./internal/server/ -fuzz FuzzDecodeResponse -fuzztime 30s
 	$(GO) test ./internal/server/ -fuzz FuzzMultiGetRequest -fuzztime 30s
+	$(GO) test ./internal/server/ -fuzz FuzzIncrCasRequest -fuzztime 30s
 	$(GO) test ./internal/replica/ -fuzz FuzzReplFrame -fuzztime 30s
 
 # Run a server on ./serve-db with metrics, for poking at with lsmctl:

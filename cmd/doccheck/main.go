@@ -7,9 +7,9 @@
 //
 // Usage:
 //
-//	doccheck -root . [-ops OPERATIONS.md] [helpfile ...]
+//	doccheck -root . [-ops OPERATIONS.md] [-protocol PROTOCOL.md -protosrc file.go] [helpfile ...]
 //
-// Two checks run:
+// Three checks run:
 //
 //   - Link check: every inline markdown link pointing at a local path,
 //     and every FILE.md mention in prose, must name a file that exists
@@ -17,6 +17,11 @@
 //   - Flag check: every `-flag` span in -ops must appear in one of the
 //     helpfile arguments — each a captured `-help` output of a shipped
 //     binary (the Makefile builds them and snapshots their help).
+//   - Protocol check: the opcode table in -protocol must agree with the
+//     Op* constants declared in -protosrc, by name and by value, in both
+//     directions — a new opcode without documentation, a documented
+//     opcode that was removed, or a renumbering on either side fails the
+//     build.
 package main
 
 import (
@@ -42,11 +47,20 @@ var (
 	// helpFlag matches a flag definition line in `flag` package -help
 	// output: two leading spaces, then -name.
 	helpFlag = regexp.MustCompile(`(?m)^\s+-([A-Za-z0-9][A-Za-z0-9.-]*)`)
+	// goOpcode matches an opcode constant declaration in the protocol
+	// source: a tab-indented `OpName Opcode = N` line.
+	goOpcode = regexp.MustCompile(`(?m)^\t(Op[A-Za-z]+)\s+Opcode\s*=\s*(\d+)`)
+	// docOpcode matches one row of the PROTOCOL.md opcode table: the row
+	// leads with the numeric value, then the Go constant name in a code
+	// span (`| 3 | ` + "`OpPut`" + ` | ...`).
+	docOpcode = regexp.MustCompile("(?m)^\\|\\s*(\\d+)\\s*\\|\\s*`(Op[A-Za-z]+)`")
 )
 
 func main() {
 	root := flag.String("root", ".", "repository root to scan for *.md files")
 	ops := flag.String("ops", "", "runbook whose `-flag` mentions must exist in the helpfile args")
+	protocol := flag.String("protocol", "", "wire reference whose opcode table must match -protosrc")
+	protosrc := flag.String("protosrc", "", "Go source declaring the Op* Opcode constants")
 	flag.Parse()
 
 	var problems []string
@@ -57,6 +71,9 @@ func main() {
 	checkLinks(*root, complain)
 	if *ops != "" {
 		checkFlags(*ops, flag.Args(), complain)
+	}
+	if *protocol != "" {
+		checkProtocol(*protocol, *protosrc, complain)
 	}
 
 	if len(problems) > 0 {
@@ -149,6 +166,60 @@ func stripFences(body string) string {
 		}
 	}
 	return strings.Join(out, "\n")
+}
+
+// checkProtocol verifies that the wire reference's opcode table and the
+// protocol source's Op* constants are the same set, value for value.
+func checkProtocol(docPath, srcPath string, complain func(string, ...any)) {
+	if srcPath == "" {
+		complain("-protocol requires -protosrc")
+		return
+	}
+	src, err := os.ReadFile(srcPath)
+	if err != nil {
+		complain("read %s: %v", srcPath, err)
+		return
+	}
+	doc, err := os.ReadFile(docPath)
+	if err != nil {
+		complain("read %s: %v", docPath, err)
+		return
+	}
+
+	declared := map[string]string{} // OpName -> value
+	for _, m := range goOpcode.FindAllStringSubmatch(string(src), -1) {
+		declared[m[1]] = m[2]
+	}
+	if len(declared) == 0 {
+		complain("%s: no Op* Opcode constants found", srcPath)
+		return
+	}
+	documented := map[string]string{}
+	for _, m := range docOpcode.FindAllStringSubmatch(string(doc), -1) {
+		if prev, dup := documented[m[2]]; dup {
+			complain("%s: opcode %s documented twice (as %s and %s)", docPath, m[2], prev, m[1])
+		}
+		documented[m[2]] = m[1]
+	}
+	if len(documented) == 0 {
+		complain("%s: no opcode table rows found (want `| N | OpName | ...`)", docPath)
+		return
+	}
+
+	for name, val := range declared {
+		docVal, ok := documented[name]
+		switch {
+		case !ok:
+			complain("%s: opcode %s = %s is not documented in %s", srcPath, name, val, docPath)
+		case docVal != val:
+			complain("%s: opcode %s documented as %s but declared as %s in %s", docPath, name, docVal, val, srcPath)
+		}
+	}
+	for name, val := range documented {
+		if _, ok := declared[name]; !ok {
+			complain("%s: documents opcode %s = %s which %s does not declare", docPath, name, val, srcPath)
+		}
+	}
 }
 
 // checkFlags verifies that every `-flag` code span in the runbook names

@@ -5,8 +5,11 @@
 // Embedded usage (opens the directory directly):
 //
 //	lsmctl -db /path put <key> <value>
+//	lsmctl -db /path put-ttl <key> <value> <ttl>  # e.g. 30s, 5m, 1h
 //	lsmctl -db /path get <key>
 //	lsmctl -db /path mget <key>...    # batch point reads
+//	lsmctl -db /path incr <key> [delta]   # atomic counter add (default +1)
+//	lsmctl -db /path cas <key> <expected> <new>   # expected "-" asserts absent
 //	lsmctl -db /path delete <key>
 //	lsmctl -db /path scan <lo> <hi>
 //	lsmctl -db /path trace <key>      # read-path trace: runs, filters, fences
@@ -20,8 +23,13 @@
 // Network usage (speaks the binary protocol to a running lsmserver):
 //
 //	lsmctl -addr host:4440 put <key> <value>
+//	lsmctl -addr host:4440 put-ttl <key> <value> <ttl>  # PUTTTL frame
 //	lsmctl -addr host:4440 get <key>
 //	lsmctl -addr host:4440 mget <key>...  # one MULTIGET round trip
+//	lsmctl -addr host:4440 incr <key> [delta]  # INCR frame (atomic)
+//	lsmctl -addr host:4440 cas <key> <expected> <new>  # CAS frame; "-" = absent
+//	lsmctl -addr host:4440 sketch freq <key>   # writes observed for key
+//	lsmctl -addr host:4440 sketch card         # distinct keys written
 //	lsmctl -addr host:4440 delete <key>
 //	lsmctl -addr host:4440 scan <lo> <hi>  # streamed (SCANSTREAM frames)
 //	lsmctl -addr host:4440 trace <key>
@@ -51,6 +59,7 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"time"
 
 	"lsmkv"
 	"lsmkv/internal/client"
@@ -129,6 +138,38 @@ func run(db *lsmkv.DB, args []string) error {
 			return err
 		}
 		return db.Put([]byte(rest[0]), []byte(rest[1]))
+	case "put-ttl":
+		if err := need(3); err != nil {
+			return err
+		}
+		ttl, err := time.ParseDuration(rest[2])
+		if err != nil {
+			return fmt.Errorf("bad ttl %q: %w", rest[2], err)
+		}
+		return db.PutTTL([]byte(rest[0]), []byte(rest[1]), ttl)
+	case "incr":
+		delta, err := incrDelta(cmd, rest)
+		if err != nil {
+			return err
+		}
+		n, err := db.Incr([]byte(rest[0]), delta)
+		if err != nil {
+			return err
+		}
+		fmt.Println(n)
+		return nil
+	case "cas":
+		if err := need(3); err != nil {
+			return err
+		}
+		err := db.CompareAndSwap([]byte(rest[0]), casExpected(rest[1]), []byte(rest[2]))
+		if errors.Is(err, lsmkv.ErrCASMismatch) {
+			fmt.Println("(conflict: current value does not match)")
+			os.Exit(1)
+		}
+		return err
+	case "sketch":
+		return fmt.Errorf("sketch requires -addr (sketches live in the server's write path)")
 	case "get":
 		if err := need(1); err != nil {
 			return err
@@ -273,8 +314,30 @@ func run(db *lsmkv.DB, args []string) error {
 			return fmt.Errorf("tune expects status|events, got %q", rest[0])
 		}
 	default:
-		return fmt.Errorf("unknown command %q (put|get|mget|delete|scan|trace|stats|compact|fill|gc|tune)", cmd)
+		return fmt.Errorf("unknown command %q (put|put-ttl|get|mget|incr|cas|delete|scan|trace|stats|compact|fill|gc|tune)", cmd)
 	}
+}
+
+// incrDelta parses an incr command's arguments: key plus an optional
+// signed delta (default +1).
+func incrDelta(cmd string, rest []string) (int64, error) {
+	switch len(rest) {
+	case 1:
+		return 1, nil
+	case 2:
+		return strconv.ParseInt(rest[1], 10, 64)
+	default:
+		return 0, fmt.Errorf("%s expects <key> [delta]", cmd)
+	}
+}
+
+// casExpected maps the CLI's expected-value argument: the literal "-"
+// asserts the key is absent, anything else is the comparand.
+func casExpected(arg string) []byte {
+	if arg == "-" {
+		return nil
+	}
+	return []byte(arg)
 }
 
 // printTunerStatus renders per-shard tuner status rows: knob set, target
@@ -335,6 +398,54 @@ func runRemote(cl *client.Client, args []string) error {
 			return err
 		}
 		return cl.Put([]byte(rest[0]), []byte(rest[1]))
+	case "put-ttl":
+		if err := need(3); err != nil {
+			return err
+		}
+		ttl, err := time.ParseDuration(rest[2])
+		if err != nil {
+			return fmt.Errorf("bad ttl %q: %w", rest[2], err)
+		}
+		return cl.PutTTL([]byte(rest[0]), []byte(rest[1]), ttl)
+	case "incr":
+		delta, err := incrDelta(cmd, rest)
+		if err != nil {
+			return err
+		}
+		n, err := cl.Incr([]byte(rest[0]), delta)
+		if err != nil {
+			return err
+		}
+		fmt.Println(n)
+		return nil
+	case "cas":
+		if err := need(3); err != nil {
+			return err
+		}
+		err := cl.Cas([]byte(rest[0]), casExpected(rest[1]), []byte(rest[2]))
+		if errors.Is(err, client.ErrCASMismatch) {
+			fmt.Println("(conflict: current value does not match)")
+			os.Exit(1)
+		}
+		return err
+	case "sketch":
+		if len(rest) == 2 && rest[0] == "freq" {
+			est, err := cl.SketchFreq([]byte(rest[1]))
+			if err != nil {
+				return err
+			}
+			fmt.Printf("~%d writes\n", est)
+			return nil
+		}
+		if len(rest) == 1 && rest[0] == "card" {
+			est, err := cl.SketchCard()
+			if err != nil {
+				return err
+			}
+			fmt.Printf("~%d distinct keys\n", est)
+			return nil
+		}
+		return fmt.Errorf("sketch expects 'freq <key>' or 'card'")
 	case "get":
 		if err := need(1); err != nil {
 			return err
@@ -570,6 +681,6 @@ func runRemote(cl *client.Client, args []string) error {
 			return fmt.Errorf("tune expects status|events, got %q", rest[0])
 		}
 	default:
-		return fmt.Errorf("unknown remote command %q (put|get|mget|delete|scan|trace|stats|ping|fill|checkpoint|replstatus|verify-replica|tune)", cmd)
+		return fmt.Errorf("unknown remote command %q (put|put-ttl|get|mget|incr|cas|sketch|delete|scan|trace|stats|ping|fill|checkpoint|replstatus|verify-replica|tune)", cmd)
 	}
 }

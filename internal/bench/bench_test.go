@@ -9,8 +9,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 18 {
-		t.Fatalf("registry has %d experiments, want 18", len(reg))
+	if len(reg) != 19 {
+		t.Fatalf("registry has %d experiments, want 19", len(reg))
 	}
 	seen := map[string]bool{}
 	for _, e := range reg {
@@ -22,7 +22,7 @@ func TestRegistryComplete(t *testing.T) {
 		}
 		seen[e.ID] = true
 	}
-	for i := 1; i <= 18; i++ {
+	for i := 1; i <= 19; i++ {
 		id := fmt.Sprintf("e%d", i) // lower case: Find is case-insensitive
 		if _, ok := Find(id); !ok {
 			t.Errorf("Find(%s) failed", id)

@@ -1,0 +1,250 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"lsmkv"
+	"lsmkv/internal/compaction"
+	"lsmkv/internal/core"
+	"lsmkv/internal/filter"
+	"lsmkv/internal/workload"
+)
+
+// E19: the YCSB core mixes over one engine configuration, plus a TTL
+// reclamation demo. The mixes rank by read share and skew — C (read-only)
+// fastest, then B, D, A, F — because every update the mix adds is WAL +
+// memtable work stealing time from reads, and F pays a full read before
+// each write. The TTL half shows the lifecycle the docs promise: a
+// doomed cohort serves before its deadline, reads as absent the instant
+// the (injected) clock passes it, and the bytes come back only when the
+// next bottommost compaction runs — visible as a footprint shrink and a
+// non-zero ExpiredDrops counter.
+func E19(w io.Writer, scale Scale) error {
+	if err := ycsbMixes(w, scale); err != nil {
+		return err
+	}
+	return ttlDemo(w, scale)
+}
+
+// ycsbMix names one benchmark row: a canonical mix and the key
+// distribution YCSB pairs it with.
+type ycsbMix struct {
+	name string
+	mix  workload.Mix
+	dist workload.KeyDist
+	// rmw: updates are read-modify-write pairs (YCSB F), so each update
+	// pays a Get before its Put.
+	rmw bool
+}
+
+func ycsbMixes(w io.Writer, scale Scale) error {
+	cfg := config(scale)
+	opsPerMix := int64(cfg.probes) * 4
+	mixes := []ycsbMix{
+		{"A (update-heavy)", workload.MixA, workload.Zipfian, false},
+		{"B (read-mostly)", workload.MixB, workload.Zipfian, false},
+		{"C (read-only)", workload.MixC, workload.Zipfian, false},
+		{"D (read-latest)", workload.MixD, workload.Latest, false},
+		{"F (read-modify-write)", workload.MixF, workload.Zipfian, true},
+	}
+	t := NewTable("mix", "dist", "Kops/s", "read p99 us", "write p99 us")
+	for i, m := range mixes {
+		row, err := runMix(m, cfg, opsPerMix, int64(101+i))
+		if err != nil {
+			return fmt.Errorf("mix %s: %w", m.name, err)
+		}
+		t.Row(m.name, m.dist.String(), row.kops, row.readP99, row.writeP99)
+	}
+	fmt.Fprintf(w, "YCSB core mixes, %d preloaded keys, %d ops each, zipfian theta 0.99:\n\n",
+		cfg.keys, opsPerMix)
+	t.Print(w)
+	return nil
+}
+
+type mixResult struct {
+	kops              float64
+	readP99, writeP99 float64
+}
+
+func runMix(m ycsbMix, cfg engineConfig, ops int64, seed int64) (mixResult, error) {
+	dir, cleanup, err := tempDir()
+	if err != nil {
+		return mixResult{}, err
+	}
+	defer cleanup()
+	opts := &lsmkv.Options{CacheBytes: 256 << 10}
+	db, _, err := loadedDB(dir, opts, cfg)
+	if err != nil {
+		return mixResult{}, err
+	}
+	defer db.Close()
+	gen := workload.NewGenerator(m.mix, m.dist, cfg.keys, 0.99, seed)
+	reads := make([]time.Duration, 0, ops)
+	writes := make([]time.Duration, 0, ops)
+	start := time.Now()
+	for i := int64(0); i < ops; i++ {
+		op := gen.Next()
+		k := workload.Key(op.Key)
+		switch op.Kind {
+		case workload.OpRead:
+			t0 := time.Now()
+			if _, err := db.Get(k); err != nil && !errors.Is(err, lsmkv.ErrNotFound) {
+				return mixResult{}, err
+			}
+			reads = append(reads, time.Since(t0))
+		case workload.OpUpdate:
+			t0 := time.Now()
+			if m.rmw {
+				if _, err := db.Get(k); err != nil && !errors.Is(err, lsmkv.ErrNotFound) {
+					return mixResult{}, err
+				}
+			}
+			if err := db.Put(k, workload.Value(op.Key, cfg.valueSize)); err != nil {
+				return mixResult{}, err
+			}
+			writes = append(writes, time.Since(t0))
+		case workload.OpInsert:
+			t0 := time.Now()
+			if err := db.Put(k, workload.Value(op.Key, cfg.valueSize)); err != nil {
+				return mixResult{}, err
+			}
+			writes = append(writes, time.Since(t0))
+		}
+	}
+	elapsed := time.Since(start)
+	return mixResult{
+		kops:     float64(ops) / elapsed.Seconds() / 1e3,
+		readP99:  p99us(reads),
+		writeP99: p99us(writes),
+	}, nil
+}
+
+func p99us(lat []time.Duration) float64 {
+	if len(lat) == 0 {
+		return 0
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	return float64(lat[int(float64(len(lat)-1)*0.99)].Microseconds())
+}
+
+// ttlDemo drives the expiring-key lifecycle against internal/core with
+// an injected clock (the public facade deliberately does not expose the
+// clock; determinism here matters more than surface purity).
+func ttlDemo(w io.Writer, scale Scale) error {
+	n := 400 * scale.factor()
+	dir, cleanup, err := tempDir()
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	var now atomic.Int64
+	now.Store(time.Now().UnixNano())
+	// BaseBytes is sized so the whole demo fits in L1: expired entries are
+	// only reclaimed by *bottommost* compaction, and a one-level tree makes
+	// every L0 merge bottommost, so the drop is deterministic at any scale.
+	db, err := core.Open(core.Options{
+		Dir:           dir,
+		MemtableBytes: 4 << 10,
+		Shape: compaction.Shape{
+			SizeRatio: 4, K: 1, Z: 1, L0Trigger: 2,
+			BaseBytes: uint64(64<<10) * uint64(scale.factor()), MaxLevels: 4,
+		},
+		BlockSize:    1024,
+		FilterPolicy: filter.Policy{Kind: filter.KindBloom, BitsPerKey: 10},
+		Clock:        now.Load,
+	})
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+
+	key := func(i int) []byte { return []byte(fmt.Sprintf("lease%06d", i)) }
+	// Generation 1: plain values, so the expired generation has older
+	// versions to shadow (the hard case for reclamation atomicity).
+	for i := 0; i < n; i++ {
+		if err := db.Put(key(i), []byte("base-value-to-reclaim")); err != nil {
+			return err
+		}
+	}
+	if err := db.Flush(); err != nil {
+		return err
+	}
+	// Generation 2: the doomed cohort, one-second leases. Drain all
+	// pre-expiry maintenance before taking the baseline so no merge
+	// scheduled under the old clock is still in flight when it advances.
+	for i := 0; i < n; i++ {
+		if err := db.PutTTL(key(i), []byte("leased-value"), time.Second); err != nil {
+			return err
+		}
+	}
+	if err := db.WaitIdle(); err != nil {
+		return err
+	}
+	servedBefore := 0
+	for i := 0; i < n; i++ {
+		if v, err := db.Get(key(i)); err == nil && string(v) == "leased-value" {
+			servedBefore++
+		}
+	}
+	bytesBefore := tableBytes(db)
+
+	// Past the deadline: reads flip to absent immediately, before any
+	// compaction has touched the files.
+	now.Add(int64(time.Hour))
+	absentAfter := 0
+	for i := 0; i < n; i++ {
+		if _, err := db.Get(key(i)); errors.Is(err, core.ErrNotFound) {
+			absentAfter++
+		}
+	}
+	// Three sentinel flushes guarantee the L0 trigger (fires at
+	// L0Trigger+1 = 3 runs) trips *after* the deadline even if the
+	// drained tree left L0 empty. Each sentinel run brackets the lease
+	// range so the merge pulls in every L1 file — reclamation requires
+	// the output to be bottommost, which it only is when no L1 file
+	// stays outside the merge. The merge then reruns under the advanced
+	// clock and physically drops expired entries plus the base versions
+	// they shadow.
+	for s := 0; s < 3; s++ {
+		if err := db.Put([]byte(fmt.Sprintf("a-sentinel%d", s)), []byte("x")); err != nil {
+			return err
+		}
+		if err := db.Put([]byte(fmt.Sprintf("zz-sentinel%d", s)), []byte("x")); err != nil {
+			return err
+		}
+		if err := db.Flush(); err != nil {
+			return err
+		}
+	}
+	if err := db.WaitIdle(); err != nil {
+		return err
+	}
+	bytesAfter := tableBytes(db)
+	drops := db.StatsHandle().ExpiredDrops.Load()
+
+	fmt.Fprintf(w, "\nTTL reclamation, %d leases of 1s over %d shadowed base versions:\n\n", n, n)
+	t := NewTable("phase", "served", "absent", "table bytes", "expired drops")
+	t.Row("before expiry", servedBefore, n-servedBefore, bytesBefore, 0)
+	t.Row("after expiry + compaction", n-absentAfter, absentAfter, bytesAfter, drops)
+	t.Print(w)
+	if drops == 0 {
+		fmt.Fprintf(w, "\nWARNING: compaction dropped no expired entries (claim not demonstrated)\n")
+	}
+	if bytesAfter >= bytesBefore {
+		fmt.Fprintf(w, "\nWARNING: footprint did not shrink (%d -> %d bytes)\n", bytesBefore, bytesAfter)
+	}
+	return nil
+}
+
+func tableBytes(db *core.DB) uint64 {
+	var total uint64
+	for _, li := range db.Levels() {
+		total += li.Bytes
+	}
+	return total
+}

@@ -40,6 +40,10 @@ var (
 	ErrClosed = errors.New("client: closed")
 	// ErrTimeout is returned when a response misses RequestTimeout.
 	ErrTimeout = errors.New("client: request timed out")
+	// ErrCASMismatch is returned when a Cas request's expected value did
+	// not match the current one; nothing was written. Not transient —
+	// re-read before retrying.
+	ErrCASMismatch = errors.New("client: cas mismatch")
 )
 
 // ServerError is a request-level failure reported by the server in a
@@ -145,6 +149,72 @@ func (c *Client) Get(key []byte) ([]byte, error) {
 func (c *Client) Put(key, value []byte) error {
 	_, err := c.call(&server.Request{Op: server.OpPut, Key: key, Value: value}, false)
 	return err
+}
+
+// PutTTL stores key -> value with a time-to-live. The client sends the
+// duration (millisecond resolution, minimum 1ms); the server stamps the
+// absolute expiry with its own clock, so client/server clock skew never
+// shifts the deadline.
+func (c *Client) PutTTL(key, value []byte, ttl time.Duration) error {
+	millis := uint64(ttl / time.Millisecond)
+	if millis == 0 && ttl > 0 {
+		millis = 1
+	}
+	_, err := c.call(&server.Request{Op: server.OpPutTTL, Key: key, Value: value, TTLMillis: millis}, false)
+	return err
+}
+
+// Incr atomically adds delta to the 8-byte little-endian counter at key
+// (absent keys start at zero) and returns the new value. The server
+// resolves it inside the key's group-commit loop, so concurrent Incrs
+// never lose updates.
+func (c *Client) Incr(key []byte, delta int64) (int64, error) {
+	resp, err := c.call(&server.Request{Op: server.OpIncr, Key: key, Delta: delta}, false)
+	if err != nil {
+		return 0, err
+	}
+	n, w := binary.Varint(resp.Value)
+	if w <= 0 {
+		return 0, fmt.Errorf("client: malformed incr response")
+	}
+	return n, nil
+}
+
+// Cas atomically replaces key's value with newValue if the current value
+// equals expected; a nil expected asserts the key is absent. On mismatch
+// it returns ErrCASMismatch and the server writes nothing.
+func (c *Client) Cas(key, expected, newValue []byte) error {
+	req := &server.Request{Op: server.OpCas, Key: key, Value: newValue}
+	if expected != nil {
+		req.HasExpected = true
+		req.Expected = expected
+	}
+	_, err := c.call(req, false)
+	return err
+}
+
+// SketchFreq returns the server's estimate (never an undercount) of how
+// many writes key has received since the server started.
+func (c *Client) SketchFreq(key []byte) (uint64, error) {
+	return c.sketch(&server.Request{Op: server.OpSketch, Sub: server.SketchFreq, Key: key})
+}
+
+// SketchCard returns the server's estimate (±~1%) of how many distinct
+// keys have been written since the server started.
+func (c *Client) SketchCard() (uint64, error) {
+	return c.sketch(&server.Request{Op: server.OpSketch, Sub: server.SketchCard})
+}
+
+func (c *Client) sketch(req *server.Request) (uint64, error) {
+	resp, err := c.call(req, false)
+	if err != nil {
+		return 0, err
+	}
+	est, w := binary.Uvarint(resp.Value)
+	if w <= 0 {
+		return 0, fmt.Errorf("client: malformed sketch response")
+	}
+	return est, nil
 }
 
 // Delete removes key.
@@ -491,6 +561,8 @@ func (c *Client) roundTrip(w *wire, req *server.Request, scan bool) (server.Resp
 			return resp, ErrThrottled
 		case server.StatusShutdown:
 			return resp, ErrShutdown
+		case server.StatusConflict:
+			return resp, ErrCASMismatch
 		default:
 			return resp, &ServerError{Msg: string(resp.Value)}
 		}
@@ -507,7 +579,8 @@ func (c *Client) roundTrip(w *wire, req *server.Request, scan bool) (server.Resp
 func responseError(err error) bool {
 	var se *ServerError
 	return errors.Is(err, ErrNotFound) || errors.Is(err, ErrThrottled) ||
-		errors.Is(err, ErrShutdown) || errors.As(err, &se)
+		errors.Is(err, ErrShutdown) || errors.Is(err, ErrCASMismatch) ||
+		errors.As(err, &se)
 }
 
 // transient reports whether err is worth a redial-and-retry. ErrNotFound

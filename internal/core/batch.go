@@ -25,7 +25,9 @@ type batchEntry struct {
 }
 
 // BatchOp is one operation in an atomically committed write batch. Kind
-// must be kv.KindSet or kv.KindDelete; Value is ignored for deletes.
+// must be kv.KindSet, kv.KindSetTTL, or kv.KindDelete; Value is ignored
+// for deletes. For KindSetTTL the Value must already carry the expiry
+// prefix (kv.AppendExpiryValue).
 type BatchOp struct {
 	Kind  kv.Kind
 	Key   []byte
@@ -35,6 +37,12 @@ type BatchOp struct {
 // PutOp builds a set operation.
 func PutOp(key, value []byte) BatchOp {
 	return BatchOp{Kind: kv.KindSet, Key: key, Value: value}
+}
+
+// PutTTLOp builds a set operation whose entry expires at the given unix
+// nanosecond timestamp.
+func PutTTLOp(key, value []byte, expiryUnixNano int64) BatchOp {
+	return BatchOp{Kind: kv.KindSetTTL, Key: key, Value: kv.AppendExpiryValue(nil, expiryUnixNano, value)}
 }
 
 // DeleteOp builds a tombstone operation.
@@ -66,10 +74,17 @@ func (db *DB) ApplyBatch(ops []BatchOp, sync bool) error {
 		switch op.Kind {
 		case kv.KindSet:
 			entries[i] = batchEntry{kind: kv.KindSet, key: op.Key, value: op.Value}
+		case kv.KindSetTTL:
+			// The value already carries its expiry prefix; TTL entries are
+			// never vlog-separated (the separation gate below tests KindSet).
+			if len(op.Value) < kv.ExpiryLen {
+				return errors.New("lsmkv: ttl op value missing expiry prefix")
+			}
+			entries[i] = batchEntry{kind: kv.KindSetTTL, key: op.Key, value: op.Value}
 		case kv.KindDelete:
 			entries[i] = batchEntry{kind: kv.KindDelete, key: op.Key}
 		default:
-			return errors.New("lsmkv: batch op kind must be set or delete")
+			return errors.New("lsmkv: batch op kind must be set, setttl, or delete")
 		}
 	}
 

@@ -327,11 +327,20 @@ func (db *DB) runCompaction(task *compaction.Task) error {
 	}
 
 	// Version-collapse filter: drop superseded versions and, at the
-	// bottom, obsolete tombstones.
+	// bottom, obsolete tombstones and expired TTL entries.
+	now := db.opts.Clock()
+	expired := func(ik kv.InternalKey, v []byte) bool {
+		if ik.Kind != kv.KindSetTTL {
+			return false
+		}
+		exp, _, ok := kv.SplitExpiryValue(v)
+		return ok && now >= exp
+	}
+	var expiredDrops int64
 	var prevUser []byte
 	var havePrev bool
 	var prevKeptBelowHorizon bool
-	discard := func(ik kv.InternalKey, _ []byte) bool {
+	discard := func(ik kv.InternalKey, v []byte) bool {
 		sameUser := havePrev && string(ik.UserKey) == string(prevUser)
 		if !sameUser {
 			prevUser = append(prevUser[:0], ik.UserKey...)
@@ -339,9 +348,19 @@ func (db *DB) runCompaction(task *compaction.Task) error {
 			prevKeptBelowHorizon = ik.Seq <= horizon
 			// A bottommost tombstone below the horizon vanishes; its
 			// below-horizon status still shadows the older versions that
-			// follow, so they are dropped too.
-			if ik.Kind == kv.KindDelete && bottommost && ik.Seq <= horizon {
-				return true
+			// follow, so they are dropped too. An expired TTL entry is an
+			// implicit tombstone and gets the same treatment — the entry
+			// and everything it shadows leave in one version install, so a
+			// crash can never resurrect the shadowed versions without also
+			// restoring the expired entry that hides them.
+			if bottommost && ik.Seq <= horizon {
+				if ik.Kind == kv.KindDelete {
+					return true
+				}
+				if expired(ik, v) {
+					expiredDrops++
+					return true
+				}
 			}
 			return false
 		}
@@ -398,6 +417,9 @@ func (db *DB) runCompaction(task *compaction.Task) error {
 	db.opts.Stats.CompactionBytesRead.Add(int64(inputBytes))
 	db.opts.Stats.CompactionBytesWritten.Add(int64(outputBytes))
 	db.opts.Stats.Compactions.Add(1)
+	if expiredDrops > 0 {
+		db.opts.Stats.ExpiredDrops.Add(expiredDrops)
+	}
 
 	err := db.installVersionEdit(func(s *manifest.State) {
 		applyCompaction(s, task, dropped, outputs)
@@ -405,12 +427,16 @@ func (db *DB) runCompaction(task *compaction.Task) error {
 	if err != nil {
 		return err
 	}
+	detail := task.Reason
+	if expiredDrops > 0 {
+		detail = fmt.Sprintf("%s expired_drops=%d", task.Reason, expiredDrops)
+	}
 	db.events.Add(iostat.Event{
 		Type: iostat.EventCompaction, FromLevel: task.FromLevel, ToLevel: task.TargetLevel,
 		InputFiles: len(inputs) + len(targets), OutputFiles: len(outputs),
 		InputBytes: inputBytes, OutputBytes: outputBytes,
 		DurMs:  float64(time.Since(start).Microseconds()) / 1e3,
-		Detail: task.Reason,
+		Detail: detail,
 	})
 	db.opts.Logf("compaction %s: %d -> %d files, %.1f MiB",
 		task.Reason, len(inputs)+len(targets), len(outputs), float64(outputBytes)/(1<<20))

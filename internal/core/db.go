@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sort"
@@ -23,6 +24,12 @@ import (
 var (
 	ErrNotFound = errors.New("lsmkv: key not found")
 	ErrClosed   = errors.New("lsmkv: database closed")
+	// ErrCASMismatch is returned by CompareAndSwap when the current value
+	// does not equal the expected one.
+	ErrCASMismatch = errors.New("lsmkv: cas mismatch")
+	// ErrNotCounter is returned by Incr when the key holds a value that is
+	// not an 8-byte little-endian counter.
+	ErrNotCounter = errors.New("lsmkv: value is not an 8-byte counter")
 )
 
 // buffer abstracts the two memtable implementations.
@@ -72,6 +79,11 @@ type DB struct {
 
 	// snapshots maps active snapshot seqs to their refcounts.
 	snapshots map[kv.SeqNum]int
+
+	// rmwMu serializes the embedded read-modify-write primitives (Incr,
+	// CompareAndSwap) against each other; the network server bypasses it
+	// by folding RMW resolution into its per-shard commit loop instead.
+	rmwMu sync.Mutex
 
 	// commitHook observes every committed batch for replication;
 	// seqWaiters park WaitForSeq callers until db.seq reaches their
@@ -277,6 +289,94 @@ func (db *DB) Put(key, value []byte) error {
 	db.lat.Put.Observe(time.Since(start))
 	return err
 }
+
+// PutTTL stores key -> value with a relative time-to-live: the entry
+// stops being served the moment ttl elapses (lazy read-path filtering)
+// and is physically reclaimed when bottommost compaction next rewrites
+// its key range. TTL values are never vlog-separated.
+func (db *DB) PutTTL(key, value []byte, ttl time.Duration) error {
+	return db.PutAtExpiry(key, value, db.opts.Clock()+ttl.Nanoseconds())
+}
+
+// PutAtExpiry is PutTTL with an absolute unix-nanosecond expiry.
+func (db *DB) PutAtExpiry(key, value []byte, expiryUnixNano int64) error {
+	stored := kv.AppendExpiryValue(nil, expiryUnixNano, value)
+	if db.lat == nil {
+		return db.write(kv.KindSetTTL, key, stored)
+	}
+	start := time.Now()
+	err := db.write(kv.KindSetTTL, key, stored)
+	db.lat.Put.Observe(time.Since(start))
+	return err
+}
+
+// Incr atomically adds delta to the signed 8-byte little-endian counter
+// at key (treating an absent key as zero) and returns the new value. A
+// present value of any other width fails with ErrNotCounter. A TTL on
+// the previous version does not carry over.
+func (db *DB) Incr(key []byte, delta int64) (int64, error) {
+	db.rmwMu.Lock()
+	defer db.rmwMu.Unlock()
+	cur, err := db.Get(key)
+	var n int64
+	switch {
+	case err == nil:
+		v, ok := DecodeCounter(cur)
+		if !ok {
+			return 0, ErrNotCounter
+		}
+		n = v + delta
+	case errors.Is(err, ErrNotFound):
+		n = delta
+	default:
+		return 0, err
+	}
+	if err := db.Put(key, AppendCounter(nil, n)); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// CompareAndSwap atomically replaces key's value with newValue if the
+// current value equals expected; expected == nil asserts the key is
+// absent. On disagreement it returns ErrCASMismatch and writes nothing.
+func (db *DB) CompareAndSwap(key, expected, newValue []byte) error {
+	db.rmwMu.Lock()
+	defer db.rmwMu.Unlock()
+	cur, err := db.Get(key)
+	switch {
+	case err == nil:
+		if expected == nil || !bytesEqual(cur, expected) {
+			return ErrCASMismatch
+		}
+	case errors.Is(err, ErrNotFound):
+		if expected != nil {
+			return ErrCASMismatch
+		}
+	default:
+		return err
+	}
+	return db.Put(key, newValue)
+}
+
+// AppendCounter appends the 8-byte little-endian encoding of an Incr
+// counter value.
+func AppendCounter(dst []byte, v int64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(v))
+	return append(dst, b[:]...)
+}
+
+// DecodeCounter decodes an Incr counter value; ok is false when the
+// value is not exactly 8 bytes.
+func DecodeCounter(v []byte) (int64, bool) {
+	if len(v) != 8 {
+		return 0, false
+	}
+	return int64(binary.LittleEndian.Uint64(v)), true
+}
+
+func bytesEqual(a, b []byte) bool { return string(a) == string(b) }
 
 // Delete removes key (writes a tombstone).
 func (db *DB) Delete(key []byte) error {
@@ -568,6 +668,29 @@ func (db *DB) getAppend(key []byte, snap kv.SeqNum, dst []byte, tr *iostat.Trace
 			tr.Tombstone = true
 		}
 		return dst, ErrNotFound
+	}
+	if kind == kv.KindSetTTL {
+		exp, payload, ok := kv.SplitExpiryValue(value[base:])
+		if !ok {
+			return dst, fmt.Errorf("lsmkv: corrupt ttl value for key %q", key)
+		}
+		if db.opts.Clock() >= exp {
+			// Past expiry the entry serves as a tombstone until compaction
+			// physically reclaims it.
+			if tr != nil {
+				tr.Tombstone = true
+			}
+			return dst, ErrNotFound
+		}
+		// Strip the expiry prefix in place, preserving the append contract
+		// (no extra allocation).
+		n := copy(value[base:], payload)
+		value = value[:base+n]
+		if tr != nil {
+			tr.Found = true
+			tr.SetValue(value[base:])
+		}
+		return value, nil
 	}
 	if kind == kv.KindValuePointer {
 		ptr, err := vlog.DecodePointer(value[base:])

@@ -165,6 +165,11 @@ type Options struct {
 	// instance across every shard engine so aggregate latency quantiles
 	// come out of a single set of histograms.
 	Latencies *iostat.OpLatencies
+	// Clock returns the current time in unix nanoseconds; the engine
+	// consults it to judge TTL expiry on reads and in compaction. Nil
+	// selects the real clock. Tests substitute a manual clock to make
+	// expiry deterministic.
+	Clock func() int64
 	// EventLogSize bounds the in-memory ring of engine lifecycle events
 	// (flushes, compactions, WAL rotations and recoveries, value-log GC),
 	// read via DB.Events. 0 selects iostat.DefaultEventLogSize; negative
@@ -235,6 +240,9 @@ func (o Options) withDefaults() (Options, error) {
 	}
 	if o.Stats == nil {
 		o.Stats = &iostat.Stats{}
+	}
+	if o.Clock == nil {
+		o.Clock = func() int64 { return time.Now().UnixNano() }
 	}
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}

@@ -151,6 +151,15 @@ func (sc *Scanner) Next() bool {
 			continue
 		}
 		value := sc.m.Value()
+		if ik.Kind == kv.KindSetTTL {
+			exp, payload, okv := kv.SplitExpiryValue(value)
+			if !okv || sc.db.opts.Clock() >= exp {
+				// Expired (or corrupt) TTL entry: logically absent; lastUser
+				// is already recorded, so older versions stay shadowed.
+				continue
+			}
+			value = payload
+		}
 		if ik.Kind == kv.KindValuePointer {
 			ptr, err := vlog.DecodePointer(value)
 			if err != nil {

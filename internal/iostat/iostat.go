@@ -105,6 +105,10 @@ type Stats struct {
 	// is the total bytes copied or hard-linked into checkpoint dirs.
 	Checkpoints     atomic.Int64
 	CheckpointBytes atomic.Int64
+	// ExpiredDrops counts TTL entries physically dropped by bottommost
+	// compaction after their expiry passed (lazily filtered reads are not
+	// counted — only reclaimed entries are).
+	ExpiredDrops atomic.Int64
 }
 
 // Snapshot is a point-in-time copy of every counter.
@@ -142,6 +146,7 @@ type Snapshot struct {
 	ReplBytesApplied       int64
 	Checkpoints            int64
 	CheckpointBytes        int64
+	ExpiredDrops           int64
 }
 
 // Snapshot copies the current counter values.
@@ -180,6 +185,7 @@ func (s *Stats) Snapshot() Snapshot {
 		ReplBytesApplied:       s.ReplBytesApplied.Load(),
 		Checkpoints:            s.Checkpoints.Load(),
 		CheckpointBytes:        s.CheckpointBytes.Load(),
+		ExpiredDrops:           s.ExpiredDrops.Load(),
 	}
 }
 
@@ -220,6 +226,7 @@ func (s Snapshot) Add(t Snapshot) Snapshot {
 		ReplBytesApplied:       s.ReplBytesApplied + t.ReplBytesApplied,
 		Checkpoints:            s.Checkpoints + t.Checkpoints,
 		CheckpointBytes:        s.CheckpointBytes + t.CheckpointBytes,
+		ExpiredDrops:           s.ExpiredDrops + t.ExpiredDrops,
 	}
 }
 
@@ -259,6 +266,7 @@ func (s Snapshot) Sub(t Snapshot) Snapshot {
 		ReplBytesApplied:       s.ReplBytesApplied - t.ReplBytesApplied,
 		Checkpoints:            s.Checkpoints - t.Checkpoints,
 		CheckpointBytes:        s.CheckpointBytes - t.CheckpointBytes,
+		ExpiredDrops:           s.ExpiredDrops - t.ExpiredDrops,
 	}
 }
 

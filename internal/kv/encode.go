@@ -24,6 +24,28 @@ func DecodeLengthPrefixed(data []byte) (b, rest []byte, ok bool) {
 	return data[w : w+int(n) : w+int(n)], data[w+int(n):], true
 }
 
+// ExpiryLen is the byte length of the expiry prefix a KindSetTTL value
+// carries in front of its payload.
+const ExpiryLen = 8
+
+// AppendExpiryValue appends the KindSetTTL value encoding — an 8-byte
+// little-endian unix-nanosecond expiry timestamp followed by the payload
+// — and returns the extended slice.
+func AppendExpiryValue(dst []byte, expiryUnixNano int64, payload []byte) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(expiryUnixNano))
+	return append(dst, payload...)
+}
+
+// SplitExpiryValue decodes a KindSetTTL value into its expiry timestamp
+// and payload (aliasing v). ok is false when v is too short to carry the
+// expiry prefix.
+func SplitExpiryValue(v []byte) (expiryUnixNano int64, payload []byte, ok bool) {
+	if len(v) < ExpiryLen {
+		return 0, nil, false
+	}
+	return int64(binary.LittleEndian.Uint64(v)), v[ExpiryLen:], true
+}
+
 // SharedPrefixLen returns the length of the common prefix of a and b.
 // It underpins the prefix-compressed block encoding in sstables.
 func SharedPrefixLen(a, b []byte) int {

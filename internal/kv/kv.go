@@ -27,9 +27,15 @@ const (
 	// KindValuePointer stores a pointer into the value log (key-value
 	// separation); the value bytes are a vlog.Pointer encoding.
 	KindValuePointer Kind = 2
+	// KindSetTTL stores the value inline with an expiry: the value bytes
+	// are an 8-byte little-endian unix-nanosecond expiry timestamp
+	// followed by the payload (see AppendExpiryValue). Past its expiry the
+	// entry behaves as a tombstone: reads skip it, and bottommost
+	// compaction drops it together with the versions it shadows.
+	KindSetTTL Kind = 3
 	// KindMax is the largest kind, used when constructing seek keys so a
 	// lookup key sorts before every real entry with the same (key, seq).
-	KindMax Kind = KindValuePointer
+	KindMax Kind = KindSetTTL
 )
 
 func (k Kind) String() string {
@@ -40,6 +46,8 @@ func (k Kind) String() string {
 		return "set"
 	case KindValuePointer:
 		return "vptr"
+	case KindSetTTL:
+		return "setttl"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

@@ -1,17 +1,41 @@
 package server
 
 import (
+	"errors"
+
 	"lsmkv/internal/core"
+	"lsmkv/internal/kv"
 )
 
-// commitReq is one write request (PUT, DELETE, or BATCH) — or, against a
-// sharded engine, one shard's slice of it — waiting for a group-commit
-// loop. done receives the commit outcome exactly once; on success, seq
-// holds the shard's sequence watermark after the commit group applied (0
-// when the engine does not expose sequence numbers), which the ack layer
-// forwards to clients as their read-your-writes coordinate.
+// rmwOp is one read-modify-write (INCR or CAS) riding a commitReq. The
+// commit loop resolves it — reads the current value, applies the
+// modification, and appends the resulting set to the group — under the
+// shard's single-writer serialization, which is what makes the opcodes
+// atomic without any extra locking. After done fires, result carries the
+// INCR outcome and err any resolution failure (conflict, non-counter);
+// a resolution failure excludes the op from the group, so the group's
+// own commit error and err are independent.
+type rmwOp struct {
+	op          Opcode // OpIncr or OpCas
+	key         []byte
+	delta       int64  // INCR addend
+	expected    []byte // CAS comparand (when hasExpected)
+	hasExpected bool
+	newValue    []byte // CAS replacement
+	result      int64  // INCR outcome
+	err         error  // resolution failure
+}
+
+// commitReq is one write request (PUT, DELETE, BATCH, or a
+// read-modify-write) — or, against a sharded engine, one shard's slice of
+// it — waiting for a group-commit loop. done receives the commit outcome
+// exactly once; on success, seq holds the shard's sequence watermark
+// after the commit group applied (0 when the engine does not expose
+// sequence numbers), which the ack layer forwards to clients as their
+// read-your-writes coordinate.
 type commitReq struct {
 	ops   []core.BatchOp
+	rmw   *rmwOp // when non-nil, ops is produced by resolution
 	shard int
 	seq   uint64
 	done  chan error
@@ -34,6 +58,16 @@ type committer struct {
 	ch     chan *commitReq
 	maxOps int
 	sync   bool
+	// get reads the current value of a key for read-modify-write
+	// resolution (nil disables RMW; such submissions fail cleanly).
+	get func(key []byte) ([]byte, error)
+	// now is the clock RMW resolution uses to judge pending TTL entries.
+	now func() int64
+	// observe, when non-nil, receives each successfully committed group's
+	// ops — the write-stream feed for the server's per-shard sketches. It
+	// runs on the commit loop, so implementations need no writer-side
+	// locking of their own.
+	observe func(ops []core.BatchOp)
 	// lastSeq, when non-nil, reads the shard's applied watermark after a
 	// group commits. The group's watermark is necessarily >= every member
 	// write's own sequence number, so it is a valid (if slightly
@@ -70,13 +104,103 @@ func (c *committer) stop() {
 	<-c.done
 }
 
+// errNoRMW reports a read-modify-write submitted to a committer without
+// a read hook (an engine that cannot serve point reads by key).
+var errNoRMW = errors.New("server: engine does not support read-modify-write")
+
+// currentValue resolves key's value as the pending group ops (applied in
+// order) overlay it on the engine: the newest pending op for key wins,
+// with TTL entries judged against now. found=false means the key is
+// absent (deleted, expired, or never written).
+func (c *committer) currentValue(key []byte, pending []core.BatchOp) (value []byte, found bool, err error) {
+	for i := len(pending) - 1; i >= 0; i-- {
+		op := pending[i]
+		if string(op.Key) != string(key) {
+			continue
+		}
+		switch op.Kind {
+		case kv.KindDelete:
+			return nil, false, nil
+		case kv.KindSetTTL:
+			exp, payload, ok := kv.SplitExpiryValue(op.Value)
+			if !ok || c.now() >= exp {
+				return nil, false, nil
+			}
+			return payload, true, nil
+		default:
+			return op.Value, true, nil
+		}
+	}
+	if c.get == nil {
+		return nil, false, errNoRMW
+	}
+	v, err := c.get(key)
+	if errors.Is(err, core.ErrNotFound) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	return v, true, nil
+}
+
+// resolveRMW turns r into the BatchOp it commits as, reading the current
+// value through the pending-group overlay. A nil return (with r.err set)
+// excludes the op from the group.
+func (c *committer) resolveRMW(r *rmwOp, pending []core.BatchOp) *core.BatchOp {
+	cur, found, err := c.currentValue(r.key, pending)
+	if err != nil {
+		r.err = err
+		return nil
+	}
+	switch r.op {
+	case OpIncr:
+		var n int64
+		if found {
+			var ok bool
+			if n, ok = core.DecodeCounter(cur); !ok {
+				r.err = core.ErrNotCounter
+				return nil
+			}
+		}
+		n += r.delta
+		r.result = n
+		op := core.PutOp(r.key, core.AppendCounter(nil, n))
+		return &op
+	case OpCas:
+		if r.hasExpected != found || (found && string(cur) != string(r.expected)) {
+			r.err = core.ErrCASMismatch
+			return nil
+		}
+		op := core.PutOp(r.key, r.newValue)
+		return &op
+	default:
+		r.err = errors.New("server: unknown rmw op")
+		return nil
+	}
+}
+
 func (c *committer) loop() {
 	defer close(c.done)
 	reqs := make([]*commitReq, 0, 64)
 	ops := make([]core.BatchOp, 0, 256)
+	add := func(r *commitReq) {
+		reqs = append(reqs, r)
+		if r.rmw != nil {
+			// Resolution order is arrival order, and each RMW sees every
+			// op already folded into this group — two INCRs of one key in
+			// one group serialize exactly as if they committed apart.
+			if op := c.resolveRMW(r.rmw, ops); op != nil {
+				r.ops = append(r.ops[:0], *op)
+				ops = append(ops, *op)
+			}
+			return
+		}
+		ops = append(ops, r.ops...)
+	}
 	for first := range c.ch {
-		reqs = append(reqs[:0], first)
-		ops = append(ops[:0], first.ops...)
+		reqs, ops = reqs[:0], ops[:0]
+		add(first)
 		// Grab everything already queued without blocking: the writers
 		// behind these requests are all waiting on an fsync anyway, so
 		// folding them into this group is free latency-wise.
@@ -87,18 +211,25 @@ func (c *committer) loop() {
 				if !open {
 					break drain
 				}
-				reqs = append(reqs, r)
-				ops = append(ops, r.ops...)
+				add(r)
 			default:
 				break drain
 			}
 		}
 		c.metrics.CommitQueue.Add(int64(-len(reqs)))
-		err := c.apply(ops, c.sync)
-		c.metrics.observeCommit(len(ops))
+		var err error
+		if len(ops) > 0 {
+			err = c.apply(ops, c.sync)
+			c.metrics.observeCommit(len(ops))
+		}
 		var seq uint64
-		if err == nil && c.lastSeq != nil {
-			seq = c.lastSeq()
+		if err == nil {
+			if c.observe != nil {
+				c.observe(ops)
+			}
+			if c.lastSeq != nil {
+				seq = c.lastSeq()
+			}
 		}
 		for _, r := range reqs {
 			r.seq = seq

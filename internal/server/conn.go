@@ -189,12 +189,21 @@ func (c *conn) dispatch(req *Request) {
 		c.handleMerkle(req, start)
 	case OpReplSync:
 		c.handleReplSync(req, start)
+	case OpSketch:
+		c.handleSketch(req, start)
 	case OpPut:
 		c.submitWrite(req, start, []core.BatchOp{core.PutOp(req.Key, req.Value)})
+	case OpPutTTL:
+		// The absolute expiry is stamped server-side at dispatch, so
+		// clients never need a synchronized clock — only a duration.
+		exp := time.Now().UnixNano() + int64(req.TTLMillis)*int64(time.Millisecond)
+		c.submitWrite(req, start, []core.BatchOp{core.PutTTLOp(req.Key, req.Value, exp)})
 	case OpDelete:
 		c.submitWrite(req, start, []core.BatchOp{core.DeleteOp(req.Key)})
 	case OpBatch:
 		c.submitWrite(req, start, req.Ops)
+	case OpIncr, OpCas:
+		c.submitRMW(req, start)
 	}
 }
 
@@ -562,6 +571,54 @@ func (c *conn) submitWrite(req *Request, start time.Time, ops []core.BatchOp) {
 	c.acks <- pw
 }
 
+// handleSketch serves the SKETCH opcode from the server's per-shard
+// write-stream sketches: freq routes to the key's owning shard's
+// count-min; card sums the per-shard HyperLogLog estimates, which is
+// sound because hash routing makes shard keyspaces disjoint.
+func (c *conn) handleSketch(req *Request, start time.Time) {
+	var est uint64
+	switch req.Sub {
+	case SketchFreq:
+		shard := 0
+		if se := c.srv.sharded; se != nil {
+			shard = se.ShardOf(req.Key)
+		}
+		est = c.srv.sketches[shard].Freq(req.Key)
+	case SketchCard:
+		for _, set := range c.srv.sketches {
+			est += set.Card()
+		}
+	}
+	resp := Response{ID: req.ID, Status: StatusOK, Value: binary.AppendUvarint(nil, est)}
+	c.finishRead(req, start, &resp)
+}
+
+// submitRMW routes an INCR or CAS to its key's group committer, which
+// resolves it atomically under the shard's single-writer serialization;
+// the ack carries the result (or the conflict).
+func (c *conn) submitRMW(req *Request, start time.Time) {
+	if c.srv.cfg.ReadOnly {
+		resp := Response{ID: req.ID, Status: StatusError, Value: []byte("server: read-only replica (writes go to the primary)")}
+		c.finishRead(req, start, &resp)
+		return
+	}
+	rmw := &rmwOp{
+		op:          req.Op,
+		key:         req.Key,
+		delta:       req.Delta,
+		expected:    req.Expected,
+		hasExpected: req.HasExpected,
+		newValue:    req.Value,
+	}
+	shard := 0
+	if se := c.srv.sharded; se != nil {
+		shard = se.ShardOf(req.Key)
+	}
+	cr := &commitReq{rmw: rmw, shard: shard, done: make(chan error, 1)}
+	c.srv.committers[shard].submit(cr)
+	c.acks <- &pendingWrite{id: req.ID, op: req.Op, start: start, reqs: []*commitReq{cr}}
+}
+
 func (c *conn) ackLoop() {
 	for pw := range c.acks {
 		var err error
@@ -573,6 +630,18 @@ func (c *conn) ackLoop() {
 		resp := Response{ID: pw.id, Status: StatusOK}
 		if err != nil {
 			resp = errResponse(pw.id, err)
+		} else if len(pw.reqs) == 1 && pw.reqs[0].rmw != nil {
+			// RMW acks own their body (the INCR result), so they carry no
+			// seq-ack coordinates; see PROTOCOL.md.
+			rmw := pw.reqs[0].rmw
+			switch {
+			case errors.Is(rmw.err, core.ErrCASMismatch):
+				resp = Response{ID: pw.id, Status: StatusConflict, Value: []byte(rmw.err.Error())}
+			case rmw.err != nil:
+				resp = errResponse(pw.id, rmw.err)
+			case pw.op == OpIncr:
+				resp.Value = binary.AppendVarint(nil, rmw.result)
+			}
 		} else if c.srv.seqEng != nil {
 			// Successful write acks carry (shard, seq) coordinates for
 			// read-your-writes against replicas; clients that predate them

@@ -27,6 +27,12 @@ func FuzzDecodeRequest(f *testing.F) {
 		}},
 		{ID: 8, Op: OpMultiGet, Keys: [][]byte{[]byte("a"), []byte("bb")}},
 		{ID: 9, Op: OpScanStream, Lo: []byte("a"), Hi: []byte("z"), Limit: 4},
+		{ID: 10, Op: OpPutTTL, Key: []byte("k"), Value: []byte("v"), TTLMillis: 1500},
+		{ID: 11, Op: OpIncr, Key: []byte("k"), Delta: -7},
+		{ID: 12, Op: OpCas, Key: []byte("k"), HasExpected: true, Expected: []byte("old"), Value: []byte("new")},
+		{ID: 13, Op: OpCas, Key: []byte("k"), Value: []byte("new")},
+		{ID: 14, Op: OpSketch, Sub: SketchFreq, Key: []byte("k")},
+		{ID: 15, Op: OpSketch, Sub: SketchCard},
 	}
 	for _, req := range seeds {
 		f.Add(AppendRequest(nil, &req))
@@ -55,6 +61,9 @@ func requestsEqual(a, b *Request) bool {
 	if a.ID != b.ID || a.Op != b.Op || a.Limit != b.Limit ||
 		!bytes.Equal(a.Key, b.Key) || !bytes.Equal(a.Value, b.Value) ||
 		!bytes.Equal(a.Lo, b.Lo) || !bytes.Equal(a.Hi, b.Hi) ||
+		a.TTLMillis != b.TTLMillis || a.Delta != b.Delta ||
+		a.HasExpected != b.HasExpected || !bytes.Equal(a.Expected, b.Expected) ||
+		a.Sub != b.Sub ||
 		len(a.Ops) != len(b.Ops) || len(a.Keys) != len(b.Keys) {
 		return false
 	}
@@ -125,6 +134,59 @@ func FuzzMultiGetRequest(f *testing.F) {
 			if !bytes.Equal(vals[i], vals2[i]) {
 				t.Fatalf("round trip changed value %d", i)
 			}
+		}
+	})
+}
+
+// FuzzIncrCasRequest drills into the read-modify-write and sketch frame
+// bodies: INCR's signed varint delta, CAS's expected-marker byte (which
+// must be exactly 0 or 1, and must preserve the absent-assertion versus
+// present-but-empty expected distinction through a round trip), PUTTTL's
+// trailing uvarint, and SKETCH's subcommand byte. Truncated or lying
+// frames must come back ErrMalformed, never panic.
+func FuzzIncrCasRequest(f *testing.F) {
+	reqs := []Request{
+		{ID: 1, Op: OpIncr, Key: []byte("k"), Delta: 1},
+		{ID: 2, Op: OpIncr, Key: []byte("k"), Delta: -1 << 40},
+		{ID: 3, Op: OpCas, Key: []byte("k"), HasExpected: true, Expected: []byte{}, Value: []byte("v")},
+		{ID: 4, Op: OpCas, Key: []byte("k"), Value: []byte("v")},
+		{ID: 5, Op: OpPutTTL, Key: []byte("k"), Value: []byte("v"), TTLMillis: 1},
+		{ID: 6, Op: OpSketch, Sub: SketchFreq, Key: []byte("k")},
+		{ID: 7, Op: OpSketch, Sub: SketchCard},
+	}
+	for _, req := range reqs {
+		f.Add(AppendRequest(nil, &req))
+	}
+	// Truncations and lies, hand-built: frames claim more than they carry.
+	f.Add([]byte{1, 0, 0, 0, byte(OpIncr), 1, 'k'})               // delta missing
+	f.Add([]byte{1, 0, 0, 0, byte(OpIncr), 1, 'k', 0x80})         // delta cut mid-varint
+	f.Add([]byte{1, 0, 0, 0, byte(OpCas), 1, 'k', 2, 1, 'v'})     // marker byte neither 0 nor 1
+	f.Add([]byte{1, 0, 0, 0, byte(OpCas), 1, 'k', 1, 5, 'x'})     // expected truncated
+	f.Add([]byte{1, 0, 0, 0, byte(OpPutTTL), 1, 'k', 1, 'v'})     // ttl missing
+	f.Add([]byte{1, 0, 0, 0, byte(OpSketch), SketchFreq})         // key missing
+	f.Add([]byte{1, 0, 0, 0, byte(OpSketch), SketchCard, 1, 'k'}) // trailing bytes
+	f.Add([]byte{1, 0, 0, 0, byte(OpSketch), 9})                  // unknown subcommand
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		req, err := DecodeRequest(payload)
+		if err != nil {
+			return
+		}
+		switch req.Op {
+		case OpIncr, OpCas, OpPutTTL, OpSketch:
+		default:
+			return
+		}
+		re := AppendRequest(nil, &req)
+		req2, err := DecodeRequest(re)
+		if err != nil {
+			t.Fatalf("re-encoded %v failed to decode: %v (payload %x)", req.Op, err, re)
+		}
+		if !requestsEqual(&req, &req2) {
+			t.Fatalf("round trip changed request:\n in  %+v\n out %+v", req, req2)
+		}
+		if req.Op == OpCas && !req.HasExpected && req.Expected != nil {
+			t.Fatalf("decoder produced expected bytes without the marker: %+v", req)
 		}
 	})
 }

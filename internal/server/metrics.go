@@ -211,6 +211,10 @@ type metricsPayload struct {
 	// steering toward, the latest signal sample, and its recent applied
 	// moves (see TUNING.md and `lsmctl tune status`).
 	Tuner []tuner.Status `json:"tuner,omitempty"`
+	// Sketches carries each shard's write-stream sketch summary (the
+	// HyperLogLog distinct-key estimate); per-key frequency goes through
+	// the SKETCH opcode, which can name the key.
+	Sketches []SketchSnapshot `json:"sketches,omitempty"`
 	// Events holds both bounded event rings, oldest first. Against a
 	// sharded engine every engine event carries the shard that recorded
 	// it.
@@ -244,7 +248,16 @@ func (s *Server) payload() metricsPayload {
 	if s.tunerEng != nil {
 		p.Tuner = s.tunerEng.TunerStatus()
 	}
+	for _, set := range s.sketches {
+		p.Sketches = append(p.Sketches, SketchSnapshot{DistinctKeys: set.Card()})
+	}
 	return p
+}
+
+// SketchSnapshot is one shard's write-stream sketch summary in STATS
+// and /metrics.
+type SketchSnapshot struct {
+	DistinctKeys uint64 `json:"distinct_keys"`
 }
 
 // MetricsHandler returns an HTTP handler exposing /metrics (JSON of

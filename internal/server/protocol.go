@@ -29,17 +29,24 @@
 //	TRACE      key
 //	MULTIGET   uvarint(n) then n× key    // batched point reads
 //	SCANSTREAM lo hi uvarint(limit)      // server-streamed scan
+//	PUTTTL     key value uvarint(ttlMillis)
+//	INCR       key varint(delta)         // atomic counter add
+//	CAS        key uint8(hasExpected)[, expected] newValue
+//	SKETCH     uint8(sub)[, key]         // sub 1=freq(key) 2=card
 //
 // Response bodies: GET returns the raw value; SCAN returns uint8(more),
 // uvarint(count), then count× (key value); STATS returns JSON; TRACE
 // returns the JSON-encoded read-path trace (StatusOK even when the key is
 // absent — the trace itself reports found/not-found); MULTIGET returns
 // uvarint(n), then n× (uint8 found[, value]) aligned with the request's
-// keys; error statuses carry the message as raw bytes. SCANSTREAM answers
-// with an open-ended sequence of SCAN-shaped frames on the request's ID —
-// more=1 means another frame follows, the frame with more=0 ends the
-// stream — so a full scan costs one request instead of one round trip per
-// page.
+// keys; INCR returns varint(result); SKETCH returns uvarint(estimate);
+// CAS answers StatusConflict on mismatch; error statuses carry the
+// message as raw bytes. SCANSTREAM answers with an open-ended sequence of
+// SCAN-shaped frames on the request's ID — more=1 means another frame
+// follows, the frame with more=0 ends the stream — so a full scan costs
+// one request instead of one round trip per page. PROTOCOL.md is the
+// complete wire reference; cmd/doccheck cross-checks its opcode table
+// against the constants below.
 package server
 
 import (
@@ -95,8 +102,26 @@ const (
 	// REPLSYNC the stream occupies the connection's read loop until the
 	// final (more=0) frame.
 	OpScanStream Opcode = 14
+	// OpPutTTL is PUT with a time-to-live: the body carries the TTL in
+	// milliseconds and the server stamps the absolute expiry at commit.
+	// After expiry the key reads as absent and compaction reclaims it.
+	OpPutTTL Opcode = 15
+	// OpIncr atomically adds a signed delta to the 8-byte LE counter at
+	// key (absent keys start at zero) inside the key's group-commit loop;
+	// the response body is the resulting value as a signed varint.
+	OpIncr Opcode = 16
+	// OpCas atomically replaces key's value with a new value if the
+	// current value equals the expected one (hasExpected=0 asserts the
+	// key is absent). A mismatch answers StatusConflict and writes
+	// nothing.
+	OpCas Opcode = 17
+	// OpSketch queries the server's per-shard write-stream sketches:
+	// sub 1 estimates how often key has been written (count-min, never
+	// under), sub 2 estimates the distinct keys written (HyperLogLog).
+	// The response body is a uvarint estimate.
+	OpSketch Opcode = 18
 	// opMax bounds the per-opcode metric arrays.
-	opMax = 15
+	opMax = 19
 )
 
 func (o Opcode) String() string {
@@ -129,6 +154,14 @@ func (o Opcode) String() string {
 		return "multiget"
 	case OpScanStream:
 		return "scanstream"
+	case OpPutTTL:
+		return "putttl"
+	case OpIncr:
+		return "incr"
+	case OpCas:
+		return "cas"
+	case OpSketch:
+		return "sketch"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(o))
 	}
@@ -148,6 +181,10 @@ const (
 	StatusThrottled Status = 3
 	// StatusShutdown means the server is draining; retry elsewhere/later.
 	StatusShutdown Status = 4
+	// StatusConflict means a CAS request's expected value did not match
+	// the current one; nothing was written. Not transient: retrying the
+	// identical request will conflict again until the caller re-reads.
+	StatusConflict Status = 5
 )
 
 // DefaultMaxFrameBytes bounds a single request or response frame.
@@ -200,7 +237,25 @@ type Request struct {
 	Keys [][]byte
 	// Buckets is the MERKLE bucket count (0 = server default).
 	Buckets uint64
+	// TTLMillis is the PUTTTL time-to-live in milliseconds.
+	TTLMillis uint64
+	// Delta is the INCR signed addend.
+	Delta int64
+	// Expected is the CAS comparand; HasExpected distinguishes an
+	// expected-empty value (true, len 0) from expected-absent (false).
+	Expected    []byte
+	HasExpected bool
+	// Sub selects the SKETCH query: SketchFreq or SketchCard.
+	Sub uint8
 }
+
+// SKETCH sub-query selectors.
+const (
+	// SketchFreq estimates writes observed for Key (count-min).
+	SketchFreq uint8 = 1
+	// SketchCard estimates distinct keys written (HyperLogLog).
+	SketchCard uint8 = 2
+)
 
 // Response is one decoded server response.
 type Response struct {
@@ -301,6 +356,27 @@ func AppendRequest(dst []byte, req *Request) []byte {
 		dst = kv.AppendLengthPrefixed(dst, req.Lo)
 		dst = kv.AppendLengthPrefixed(dst, req.Hi)
 		dst = binary.AppendUvarint(dst, req.Limit)
+	case OpPutTTL:
+		dst = kv.AppendLengthPrefixed(dst, req.Key)
+		dst = kv.AppendLengthPrefixed(dst, req.Value)
+		dst = binary.AppendUvarint(dst, req.TTLMillis)
+	case OpIncr:
+		dst = kv.AppendLengthPrefixed(dst, req.Key)
+		dst = binary.AppendVarint(dst, req.Delta)
+	case OpCas:
+		dst = kv.AppendLengthPrefixed(dst, req.Key)
+		if req.HasExpected {
+			dst = append(dst, 1)
+			dst = kv.AppendLengthPrefixed(dst, req.Expected)
+		} else {
+			dst = append(dst, 0)
+		}
+		dst = kv.AppendLengthPrefixed(dst, req.Value)
+	case OpSketch:
+		dst = append(dst, req.Sub)
+		if req.Sub == SketchFreq {
+			dst = kv.AppendLengthPrefixed(dst, req.Key)
+		}
 	}
 	return dst
 }
@@ -466,6 +542,67 @@ func DecodeRequest(payload []byte) (Request, error) {
 			return req, ErrMalformed
 		}
 		body = body[w:]
+	case OpPutTTL:
+		if req.Key, body, ok = kv.DecodeLengthPrefixed(body); !ok || len(req.Key) == 0 {
+			return req, ErrMalformed
+		}
+		if req.Value, body, ok = kv.DecodeLengthPrefixed(body); !ok {
+			return req, ErrMalformed
+		}
+		var w int
+		if req.TTLMillis, w = binary.Uvarint(body); w <= 0 {
+			return req, ErrMalformed
+		}
+		body = body[w:]
+	case OpIncr:
+		if req.Key, body, ok = kv.DecodeLengthPrefixed(body); !ok || len(req.Key) == 0 {
+			return req, ErrMalformed
+		}
+		var w int
+		if req.Delta, w = binary.Varint(body); w <= 0 {
+			return req, ErrMalformed
+		}
+		body = body[w:]
+	case OpCas:
+		if req.Key, body, ok = kv.DecodeLengthPrefixed(body); !ok || len(req.Key) == 0 {
+			return req, ErrMalformed
+		}
+		if len(body) < 1 {
+			return req, ErrMalformed
+		}
+		marker := body[0]
+		body = body[1:]
+		switch marker {
+		case 0:
+		case 1:
+			req.HasExpected = true
+			if req.Expected, body, ok = kv.DecodeLengthPrefixed(body); !ok {
+				return req, ErrMalformed
+			}
+			if req.Expected == nil {
+				req.Expected = []byte{}
+			}
+		default:
+			return req, ErrMalformed
+		}
+		if req.Value, body, ok = kv.DecodeLengthPrefixed(body); !ok {
+			return req, ErrMalformed
+		}
+	case OpSketch:
+		if len(body) < 1 {
+			return req, ErrMalformed
+		}
+		req.Sub = body[0]
+		body = body[1:]
+		switch req.Sub {
+		case SketchFreq:
+			if req.Key, body, ok = kv.DecodeLengthPrefixed(body); !ok || len(req.Key) == 0 {
+				return req, ErrMalformed
+			}
+		case SketchCard:
+		default:
+			return req, ErrMalformed
+		}
 	default:
 		return req, ErrMalformed
 	}

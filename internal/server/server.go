@@ -12,6 +12,7 @@ import (
 	"lsmkv/internal/core"
 	"lsmkv/internal/iostat"
 	"lsmkv/internal/replica"
+	"lsmkv/internal/sketch"
 	"lsmkv/internal/tuner"
 )
 
@@ -203,6 +204,9 @@ type Server struct {
 	// than one shard, and routes point writes and splits batches.
 	committers []*committer
 	sharded    ShardedEngine // nil for single-shard engines
+	// sketches hold one write-stream sketch set per shard (aligned with
+	// committers), fed from each commit loop and queried by SKETCH.
+	sketches []*sketch.Set
 	// Optional engine capabilities, nil when cfg.DB lacks them.
 	seqEng    SeqEngine
 	ckptEng   CheckpointEngine
@@ -273,6 +277,20 @@ func New(cfg Config) (*Server, error) {
 			c.lastSeq = func() uint64 { return s.seqEng.LastSeqs()[0] }
 		}
 		s.committers = []*committer{c}
+	}
+	s.sketches = make([]*sketch.Set, len(s.committers))
+	for i, c := range s.committers {
+		set := sketch.NewSet()
+		s.sketches[i] = set
+		// cfg.DB.Get routes by key, so even a per-shard committer's RMW
+		// reads land on the right shard.
+		c.get = cfg.DB.Get
+		c.now = func() int64 { return time.Now().UnixNano() }
+		c.observe = func(ops []core.BatchOp) {
+			for _, op := range ops {
+				set.Observe(op.Key)
+			}
+		}
 	}
 	if cfg.RatePerSec > 0 {
 		s.bucket = NewTokenBucket(cfg.RatePerSec, cfg.Burst)

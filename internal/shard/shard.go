@@ -27,6 +27,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"lsmkv/internal/core"
 	"lsmkv/internal/iostat"
@@ -321,6 +322,25 @@ func (db *DB) MultiGetTraced(keys [][]byte) ([][]byte, []*iostat.Trace, error) {
 // Put writes key=value to the owning shard.
 func (db *DB) Put(key, value []byte) error {
 	return db.engines[Of(key, db.n)].Put(key, value)
+}
+
+// PutTTL writes key=value with a relative time-to-live to the owning
+// shard.
+func (db *DB) PutTTL(key, value []byte, ttl time.Duration) error {
+	return db.engines[Of(key, db.n)].PutTTL(key, value, ttl)
+}
+
+// Incr atomically adds delta to the counter at key on the owning shard
+// and returns the new value.
+func (db *DB) Incr(key []byte, delta int64) (int64, error) {
+	return db.engines[Of(key, db.n)].Incr(key, delta)
+}
+
+// CompareAndSwap atomically replaces key's value with newValue if the
+// current value equals expected (nil expected asserts absence), on the
+// owning shard.
+func (db *DB) CompareAndSwap(key, expected, newValue []byte) error {
+	return db.engines[Of(key, db.n)].CompareAndSwap(key, expected, newValue)
 }
 
 // Delete writes a tombstone for key to the owning shard.

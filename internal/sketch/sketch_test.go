@@ -1,0 +1,129 @@
+package sketch
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestCountMinNeverUndercounts: the estimate is an upper bound on the
+// true count, and exact when the sketch is far from saturated.
+func TestCountMinNeverUndercounts(t *testing.T) {
+	cm := NewCountMin(4, 8192)
+	truth := map[string]uint64{}
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("key-%04d", i%500)
+		cm.Add([]byte(key))
+		truth[key]++
+	}
+	for key, want := range truth {
+		got := cm.Estimate([]byte(key))
+		if got < want {
+			t.Fatalf("undercount for %s: got %d, want >= %d", key, got, want)
+		}
+		if got > want+50 {
+			t.Fatalf("gross overcount for %s: got %d, want ~%d", key, got, want)
+		}
+	}
+	if got := cm.Estimate([]byte("never-added")); got > 50 {
+		t.Fatalf("absent key estimate too high: %d", got)
+	}
+}
+
+// TestCountMinSmallWidthStillUpperBounds: heavy collisions (width 16)
+// overcount but never undercount.
+func TestCountMinSmallWidthStillUpperBounds(t *testing.T) {
+	cm := NewCountMin(2, 16)
+	for i := 0; i < 1000; i++ {
+		cm.Add([]byte(fmt.Sprintf("k%d", i%100)))
+	}
+	for i := 0; i < 100; i++ {
+		if got := cm.Estimate([]byte(fmt.Sprintf("k%d", i))); got < 10 {
+			t.Fatalf("undercount at heavy collision: key k%d got %d, want >= 10", i, got)
+		}
+	}
+}
+
+// TestHyperLogLogAccuracy: estimates stay within a few standard errors
+// (~0.8% at p=14) across three orders of magnitude.
+func TestHyperLogLogAccuracy(t *testing.T) {
+	for _, n := range []int{100, 10_000, 200_000} {
+		h := NewHyperLogLog(14)
+		for i := 0; i < n; i++ {
+			h.Add([]byte(fmt.Sprintf("element-%d", i)))
+		}
+		got := float64(h.Estimate())
+		if err := got/float64(n) - 1; err > 0.05 || err < -0.05 {
+			t.Fatalf("n=%d: estimate %0.f off by %.1f%%", n, got, err*100)
+		}
+	}
+}
+
+// TestHyperLogLogDuplicatesDoNotInflate: adding the same keys again
+// must not change the estimate.
+func TestHyperLogLogDuplicatesDoNotInflate(t *testing.T) {
+	h := NewHyperLogLog(14)
+	add := func() {
+		for i := 0; i < 5000; i++ {
+			h.Add([]byte(fmt.Sprintf("dup-%d", i)))
+		}
+	}
+	add()
+	first := h.Estimate()
+	add()
+	add()
+	if again := h.Estimate(); again != first {
+		t.Fatalf("duplicates moved the estimate: %d -> %d", first, again)
+	}
+}
+
+// TestHyperLogLogEmpty: zero elements estimate zero (linear counting
+// with every register at zero).
+func TestHyperLogLogEmpty(t *testing.T) {
+	if got := NewHyperLogLog(14).Estimate(); got != 0 {
+		t.Fatalf("empty estimate = %d, want 0", got)
+	}
+}
+
+// TestSetConcurrent exercises the Set lock discipline: one writer, many
+// readers, no torn reads under the race detector.
+func TestSetConcurrent(t *testing.T) {
+	s := NewSet()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 20_000; i++ {
+			s.Observe([]byte(fmt.Sprintf("k%d", i%1000)))
+		}
+	}()
+	for i := 0; i < 4; i++ {
+		go func() {
+			for j := 0; j < 2000; j++ {
+				s.Freq([]byte("k1"))
+				s.Card()
+			}
+		}()
+	}
+	<-done
+	if f := s.Freq([]byte("k1")); f < 20 {
+		t.Fatalf("k1 freq %d, want >= 20", f)
+	}
+	card := s.Card()
+	if card < 900 || card > 1100 {
+		t.Fatalf("cardinality %d, want ~1000", card)
+	}
+}
+
+// TestDefaultSizes pins the documented defaults.
+func TestDefaultSizes(t *testing.T) {
+	cm := NewCountMin(0, 0)
+	if cm.rows != 4 || cm.width != 8192 {
+		t.Fatalf("default count-min %dx%d, want 4x8192", cm.rows, cm.width)
+	}
+	if cm2 := NewCountMin(3, 1000); cm2.width != 1024 {
+		t.Fatalf("width not rounded to power of two: %d", cm2.width)
+	}
+	h := NewHyperLogLog(0)
+	if len(h.regs) != 1<<14 {
+		t.Fatalf("default HLL registers %d, want %d", len(h.regs), 1<<14)
+	}
+}

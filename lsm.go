@@ -39,6 +39,14 @@ var ErrNotFound = core.ErrNotFound
 // ErrClosed is returned by operations on a closed database.
 var ErrClosed = core.ErrClosed
 
+// ErrCASMismatch is returned by CompareAndSwap when the current value
+// does not match the expected one.
+var ErrCASMismatch = core.ErrCASMismatch
+
+// ErrNotCounter is returned by Incr when the key holds a value that is
+// not an 8-byte little-endian counter.
+var ErrNotCounter = core.ErrNotCounter
+
 // Layout names the data layout of the tree (tutorial Module I).
 type Layout string
 
@@ -462,6 +470,31 @@ type Trace = iostat.Trace
 // ErrNotFound — absent keys are the interesting case for diagnosing read
 // amplification. Tracing allocates; use it for diagnostics, not hot paths.
 func (db *DB) GetTraced(key []byte) ([]byte, *Trace, error) { return db.inner.GetTraced(key) }
+
+// PutTTL stores key -> value with a time-to-live: after ttl elapses the
+// key reads as absent (Get returns ErrNotFound, scans skip it) and the
+// bottommost compaction that next touches it reclaims the space. See
+// TUNING.md "Expiring keys" for the lazy-vs-compaction reclamation
+// model.
+func (db *DB) PutTTL(key, value []byte, ttl time.Duration) error {
+	return db.inner.PutTTL(key, value, ttl)
+}
+
+// Incr atomically adds delta to the 8-byte little-endian counter at key
+// and returns the new value. An absent key starts at zero, so the first
+// Incr of a counter returns delta. A value of any other width fails
+// with ErrNotCounter. Counters are ordinary values: Get returns the
+// 8-byte encoding, and Put can seed or reset one.
+func (db *DB) Incr(key []byte, delta int64) (int64, error) {
+	return db.inner.Incr(key, delta)
+}
+
+// CompareAndSwap atomically replaces key's value with newValue if the
+// current value equals expected; a nil expected asserts the key is
+// absent. On mismatch it returns ErrCASMismatch and changes nothing.
+func (db *DB) CompareAndSwap(key, expected, newValue []byte) error {
+	return db.inner.CompareAndSwap(key, expected, newValue)
+}
 
 // Delete removes key.
 func (db *DB) Delete(key []byte) error { return db.inner.Delete(key) }
